@@ -1,0 +1,231 @@
+// Benchmarks: one per table/figure of the paper's evaluation, each
+// exercising the code path that regenerates it at a single representative
+// sweep point (the full sweeps live in cmd/skybench). Run with:
+//
+//	go test -bench=. -benchmem
+package manetskyline
+
+import (
+	"math"
+	"testing"
+
+	"manetskyline/internal/bench"
+	"manetskyline/internal/core"
+	"manetskyline/internal/device"
+	"manetskyline/internal/gen"
+	"manetskyline/internal/localsky"
+	"manetskyline/internal/manet"
+	"manetskyline/internal/skyline"
+	"manetskyline/internal/storage"
+	"manetskyline/internal/tuple"
+	"manetskyline/internal/wire"
+)
+
+// --- Figure 5(a): local skyline time vs cardinality, HS vs FS ---------------
+
+func benchLocalHybrid(b *testing.B, n, dim int, dist gen.Distribution) {
+	data := gen.Generate(gen.HandheldConfig(n, dim, dist, 1))
+	rel := storage.NewHybrid(data)
+	q := localsky.Query{D: math.Inf(1)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		localsky.HybridSkyline(rel, q, nil, nil)
+	}
+}
+
+func benchLocalFlat(b *testing.B, n, dim int, dist gen.Distribution) {
+	data := gen.Generate(gen.HandheldConfig(n, dim, dist, 1))
+	rel := storage.NewFlat(data)
+	q := localsky.Query{D: math.Inf(1)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		localsky.BNLSkyline(rel, q, nil, nil)
+	}
+}
+
+func BenchmarkFig5aHybridIN(b *testing.B) { benchLocalHybrid(b, 10000, 2, gen.Independent) }
+func BenchmarkFig5aFlatIN(b *testing.B)   { benchLocalFlat(b, 10000, 2, gen.Independent) }
+func BenchmarkFig5aHybridAC(b *testing.B) { benchLocalHybrid(b, 10000, 2, gen.AntiCorrelated) }
+func BenchmarkFig5aFlatAC(b *testing.B)   { benchLocalFlat(b, 10000, 2, gen.AntiCorrelated) }
+
+// --- Figure 5(b): local skyline time vs dimensionality ----------------------
+
+func BenchmarkFig5bHybrid5D(b *testing.B) { benchLocalHybrid(b, 10000, 5, gen.Independent) }
+func BenchmarkFig5bFlat5D(b *testing.B)   { benchLocalFlat(b, 10000, 5, gen.Independent) }
+
+// --- Figures 6-7: static pre-test (one full m×m-query round) ----------------
+
+func benchStatic(b *testing.B, dist gen.Distribution, dynamic bool, mode core.Estimation) {
+	cfg := gen.DefaultConfig(5000, 2, dist, 1)
+	data := gen.Generate(cfg)
+	parts := gen.GridPartition(data, 3, cfg.Space)
+	devs := make([]*core.Device, len(parts))
+	for i, p := range parts {
+		devs[i] = core.NewDevice(core.DeviceID(i), p, cfg.Schema(), mode, dynamic)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range devs {
+			d.Log.Reset()
+		}
+		core.RunStatic(devs, 3, 4)
+	}
+}
+
+func BenchmarkFig6StaticIN(b *testing.B) { benchStatic(b, gen.Independent, true, core.Exact) }
+func BenchmarkFig7StaticAC(b *testing.B) { benchStatic(b, gen.AntiCorrelated, true, core.Exact) }
+
+// --- Figures 8-11: one MANET scenario per strategy ---------------------------
+
+func benchSim(b *testing.B, dist gen.Distribution, strategy manet.Forwarding) {
+	p := manet.DefaultParams()
+	p.Grid = 3
+	p.GlobalN = 5000
+	p.Dist = dist
+	p.Strategy = strategy
+	p.SimTime = 1200
+	p.MinQueries, p.MaxQueries = 1, 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		manet.Run(p)
+	}
+}
+
+func BenchmarkFig8SimDRRBreadthIN(b *testing.B) { benchSim(b, gen.Independent, manet.BreadthFirst) }
+func BenchmarkFig9SimDRRBreadthAC(b *testing.B) { benchSim(b, gen.AntiCorrelated, manet.BreadthFirst) }
+func BenchmarkFig10SimRespDepthIN(b *testing.B) { benchSim(b, gen.Independent, manet.DepthFirst) }
+func BenchmarkFig11SimRespDepthAC(b *testing.B) { benchSim(b, gen.AntiCorrelated, manet.DepthFirst) }
+
+// --- Figure 12: message counting on a denser network ------------------------
+
+func BenchmarkFig12Messages(b *testing.B) {
+	p := manet.DefaultParams()
+	p.Grid = 4
+	p.GlobalN = 5000
+	p.SimTime = 1200
+	p.MinQueries, p.MaxQueries = 1, 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		out := manet.Run(p)
+		_ = out.MeanMessages()
+	}
+}
+
+// --- Tables 2-5 path: the core protocol micro-operations ---------------------
+
+func BenchmarkProtocolOriginateProcessMerge(b *testing.B) {
+	cfg := gen.DefaultConfig(4000, 2, gen.Independent, 1)
+	data := gen.Generate(cfg)
+	parts := gen.GridPartition(data, 2, cfg.Space)
+	org := core.NewDevice(0, parts[0], cfg.Schema(), core.Under, true)
+	rem := core.NewDevice(1, parts[1], cfg.Schema(), core.Under, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, res := org.Originate(tuple.Point{X: 500, Y: 500}, 400)
+		r := rem.Process(q)
+		core.Merge(res.Skyline, r.Skyline)
+	}
+}
+
+// --- centralized baselines ----------------------------------------------------
+
+func benchAlgo(b *testing.B, f func([]tuple.Tuple) []tuple.Tuple, dist gen.Distribution) {
+	data := gen.Generate(gen.DefaultConfig(10000, 2, dist, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(data)
+	}
+}
+
+func BenchmarkBaselineBNLIN(b *testing.B)    { benchAlgo(b, skyline.BNL, gen.Independent) }
+func BenchmarkBaselineSFSIN(b *testing.B)    { benchAlgo(b, skyline.SFS, gen.Independent) }
+func BenchmarkBaselineDCIN(b *testing.B)     { benchAlgo(b, skyline.DivideAndConquer, gen.Independent) }
+func BenchmarkBaselineSort2DIN(b *testing.B) { benchAlgo(b, skyline.Sort2D, gen.Independent) }
+func BenchmarkBaselineSFSAC(b *testing.B)    { benchAlgo(b, skyline.SFS, gen.AntiCorrelated) }
+func BenchmarkBaselineBitmapIN(b *testing.B) { benchAlgo(b, skyline.Bitmap, gen.Independent) }
+func BenchmarkBaselineIndexIN(b *testing.B)  { benchAlgo(b, skyline.Index, gen.Independent) }
+func BenchmarkBaselineNNIN(b *testing.B)     { benchAlgo(b, skyline.NN, gen.Independent) }
+func BenchmarkBaselineBBSIN(b *testing.B)    { benchAlgo(b, skyline.BBS, gen.Independent) }
+
+func BenchmarkBaselineBBSIndexedIN(b *testing.B) {
+	data := gen.Generate(gen.DefaultConfig(10000, 2, gen.Independent, 1))
+	tree := skyline.BuildAttrTree(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		skyline.BBSOnTree(data, tree)
+	}
+}
+
+// --- ablations ----------------------------------------------------------------
+
+func BenchmarkAblationStorageBuildHybrid(b *testing.B) {
+	data := gen.Generate(gen.HandheldConfig(10000, 3, gen.Independent, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		storage.NewHybrid(data)
+	}
+}
+
+func BenchmarkAblationMultiFilterSelect(b *testing.B) {
+	data := gen.Generate(gen.DefaultConfig(20000, 2, gen.AntiCorrelated, 1))
+	sky := skyline.SFS(data)
+	hi := []float64{1000, 1000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SelectFilters(sky, hi, 3, 1024, 7)
+	}
+}
+
+func BenchmarkAblationMultiFilterProtocol(b *testing.B) {
+	cfg := gen.DefaultConfig(4000, 2, gen.AntiCorrelated, 1)
+	data := gen.Generate(cfg)
+	parts := gen.GridPartition(data, 2, cfg.Space)
+	devs := make([]*core.Device, len(parts))
+	for i, p := range parts {
+		devs[i] = core.NewDevice(core.DeviceID(i), p, cfg.Schema(), core.Under, true)
+		devs[i].NumFilters = 3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range devs {
+			d.Log.Reset()
+		}
+		core.RunStaticOpt(devs, 2, 0, core.StaticOptions{SkipAssembly: true})
+	}
+}
+
+// --- the wire format ------------------------------------------------------------
+
+func BenchmarkWireEncodeDecodeResult(b *testing.B) {
+	data := gen.Generate(gen.DefaultConfig(3000, 2, gen.AntiCorrelated, 1))
+	sky := skyline.SFS(data)
+	r := wire.Result{Key: core.QueryKey{Org: 1, Cnt: 1}, From: 2, Tuples: sky}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := wire.EncodeResult(r)
+		if _, err := wire.DecodeResult(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- cost model (the Figure 5 estimator itself) --------------------------------
+
+func BenchmarkCostModelTime(b *testing.B) {
+	m := device.Handheld200MHz()
+	s := localsky.Stats{Scanned: 10000, IDCmp: 400000, ValCmp: 10000, DistChecks: 10000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Time(s)
+	}
+}
+
+// --- the harness end to end at small scale -------------------------------------
+
+func BenchmarkHarnessFig5aSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig5a(bench.Small)
+	}
+}

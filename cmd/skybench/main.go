@@ -1,0 +1,62 @@
+// Command skybench regenerates the paper's evaluation artifacts: every
+// figure of §5 plus the ablations this reproduction adds, as aligned text
+// tables and optional CSV files.
+//
+// Usage:
+//
+//	skybench -experiment all                 # everything at default scale
+//	skybench -experiment fig5a -scale paper  # one figure at full Table 6 scale
+//	skybench -list                           # show available experiments
+//	skybench -experiment sim -csv results/   # also write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"manetskyline/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "skybench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expName = flag.String("experiment", "all", "experiment to run (see -list)")
+		scale   = flag.String("scale", "default", "sweep scale: small|default|paper")
+		csvDir  = flag.String("csv", "", "directory for CSV output (optional)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-12s %s\n", e.Name, e.Description)
+		}
+		return nil
+	}
+
+	sc, err := bench.ParseScale(*scale)
+	if err != nil {
+		return err
+	}
+	exp, err := bench.Lookup(*expName)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("# %s (scale=%s)\n\n", exp.Description, sc)
+	start := time.Now()
+	tables := exp.Run(sc)
+	if err := bench.Emit(os.Stdout, *csvDir, tables...); err != nil {
+		return err
+	}
+	fmt.Printf("# %d tables in %.1fs\n", len(tables), time.Since(start).Seconds())
+	return nil
+}

@@ -1,0 +1,159 @@
+// Command skypeer deploys the distributed skyline protocol across real
+// processes: a directory server for bootstrap, then one peer process per
+// device, each serving its local relation over TCP with the binary wire
+// format. A peer can also issue a query and print the assembled skyline.
+//
+// A three-terminal session:
+//
+//	skypeer -dirserver :7940
+//	skypeer -join 127.0.0.1:7940 -id 0 -data dev-00.csv -x 250 -y 250 -neighbors 1
+//	skypeer -join 127.0.0.1:7940 -id 1 -data dev-01.csv -x 750 -y 250 -neighbors 0 \
+//	        -query 400 -peers 2
+//
+// Data files are CSV (skygen) or the binary dataset format (skygen
+// -format bin), selected by extension.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"manetskyline/internal/core"
+	"manetskyline/internal/gen"
+	"manetskyline/internal/tcp"
+	"manetskyline/internal/tuple"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "skypeer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dirserver = flag.String("dirserver", "", "run a directory server on this address and block")
+		join      = flag.String("join", "", "directory server address to join as a peer")
+		id        = flag.Int("id", 0, "this peer's device id")
+		dataPath  = flag.String("data", "", "local relation file (.csv or .bin)")
+		x         = flag.Float64("x", 500, "this peer's x position")
+		y         = flag.Float64("y", 500, "this peer's y position")
+		neighbors = flag.String("neighbors", "", "comma-separated neighbor device ids")
+		dim       = flag.Int("dim", 2, "attributes (for the schema when data is empty)")
+		attrMax   = flag.Float64("attrmax", 1000, "global attribute upper bound")
+		mode      = flag.String("mode", "UNE", "VDR estimation: EXT|OVE|UNE")
+		filters   = flag.Int("filters", 1, "filtering tuples per query")
+		query     = flag.Float64("query", 0, "issue one query with this distance of interest, print the skyline, and exit")
+		peers     = flag.Int("peers", 0, "network size for the query quorum (default: directory size)")
+	)
+	flag.Parse()
+
+	if *dirserver != "" {
+		srv, err := tcp.NewDirectoryServer(*dirserver)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("directory server on %s\n", srv.Addr())
+		waitForSignal()
+		return nil
+	}
+
+	if *join == "" {
+		return fmt.Errorf("need -dirserver or -join (see -help)")
+	}
+
+	var data []tuple.Tuple
+	if *dataPath != "" {
+		f, err := os.Open(*dataPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if strings.HasSuffix(*dataPath, ".bin") {
+			data, err = gen.ReadBin(f)
+		} else {
+			data, err = gen.ReadCSV(f)
+		}
+		if err != nil {
+			return err
+		}
+		if len(data) > 0 {
+			*dim = data[0].Dim()
+		}
+	}
+	schema := tuple.NewSchema(*dim, 0, *attrMax)
+
+	var est core.Estimation
+	switch *mode {
+	case "EXT":
+		est = core.Exact
+	case "OVE":
+		est = core.Over
+	case "UNE":
+		est = core.Under
+	default:
+		return fmt.Errorf("unknown estimation mode %q", *mode)
+	}
+
+	client := tcp.NewDirectoryClient(*join)
+	peer, err := tcp.NewPeer(core.DeviceID(*id), data, schema, est, true,
+		tuple.Point{X: *x, Y: *y}, client, tcp.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	defer peer.Close()
+	peer.SetNumFilters(*filters)
+
+	for _, part := range strings.Split(*neighbors, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		nb, err := strconv.Atoi(part)
+		if err != nil {
+			return fmt.Errorf("bad neighbor id %q", part)
+		}
+		peer.AddNeighbor(core.DeviceID(nb))
+	}
+
+	fmt.Printf("peer %d on %s with %d tuples at (%.0f,%.0f)\n",
+		*id, peer.Addr(), len(data), *x, *y)
+
+	if *query <= 0 {
+		fmt.Println("serving; ctrl-c to stop")
+		waitForSignal()
+		return nil
+	}
+
+	total := *peers
+	if total <= 0 {
+		all, err := client.List()
+		if err != nil {
+			return err
+		}
+		total = len(all)
+	}
+	res, err := peer.Query(*query, total)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query d=%g: %d peers answered in %v (complete=%v)\n",
+		*query, res.Results, res.Elapsed.Round(1e6), res.Complete)
+	for _, t := range res.Skyline {
+		fmt.Printf("  (%8.2f, %8.2f) %v\n", t.X, t.Y, t.Attrs)
+	}
+	return nil
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}

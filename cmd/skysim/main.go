@@ -1,0 +1,144 @@
+// Command skysim runs one MANET scenario end to end and reports per-query
+// and aggregate metrics — the interactive face of the simulator behind
+// Figures 8-12.
+//
+// Usage:
+//
+//	skysim -grid 5 -n 50000 -dim 2 -dist IN -d 250 -strategy BF -time 7200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"manetskyline/internal/core"
+	"manetskyline/internal/gen"
+	"manetskyline/internal/manet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "skysim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		grid     = flag.Int("grid", 5, "grid side length (devices = grid²)")
+		n        = flag.Int("n", 50000, "global relation cardinality")
+		dim      = flag.Int("dim", 2, "non-spatial attributes (2-5)")
+		dist     = flag.String("dist", "IN", "attribute distribution: IN|AC|CO")
+		d        = flag.Float64("d", 250, "query distance of interest")
+		strategy = flag.String("strategy", "BF", "forwarding: BF|DF")
+		mode     = flag.String("mode", "UNE", "VDR estimation: EXT|OVE|UNE")
+		dynamic  = flag.Bool("dynamic", true, "dynamic filter updates")
+		filters  = flag.Int("filters", 1, "filtering tuples per query (§7 multi-filter extension)")
+		simTime  = flag.Float64("time", 7200, "simulated seconds")
+		minQ     = flag.Int("minq", 1, "min queries per device")
+		maxQ     = flag.Int("maxq", 5, "max queries per device")
+		static   = flag.Bool("static", false, "disable mobility")
+		fade     = flag.Float64("fade", 0, "radio gray-zone fade margin in [0,1]")
+		loss     = flag.Float64("loss", 0, "independent frame loss probability")
+		redist   = flag.Bool("redistribute", false, "hand relations to devices closer to the data (§7 extension)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		trace    = flag.String("trace", "", "write a JSONL event trace to this file")
+		verbose  = flag.Bool("v", false, "print per-query metrics")
+	)
+	flag.Parse()
+
+	p := manet.DefaultParams()
+	p.Grid = *grid
+	p.GlobalN = *n
+	p.Dim = *dim
+	p.QueryDist = *d
+	p.Dynamic = *dynamic
+	p.NumFilters = *filters
+	p.SimTime = *simTime
+	p.MinQueries, p.MaxQueries = *minQ, *maxQ
+	p.Static = *static
+	p.Radio.FadeMargin = *fade
+	p.Radio.Loss = *loss
+	p.Redistribute = *redist
+	p.Seed = *seed
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		p.Trace = f
+	}
+
+	switch *dist {
+	case "IN":
+		p.Dist = gen.Independent
+	case "AC":
+		p.Dist = gen.AntiCorrelated
+	case "CO":
+		p.Dist = gen.Correlated
+	default:
+		return fmt.Errorf("unknown distribution %q", *dist)
+	}
+	switch *strategy {
+	case "BF":
+		p.Strategy = manet.BreadthFirst
+	case "DF":
+		p.Strategy = manet.DepthFirst
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	switch *mode {
+	case "EXT":
+		p.Mode = core.Exact
+	case "OVE":
+		p.Mode = core.Over
+	case "UNE":
+		p.Mode = core.Under
+	default:
+		return fmt.Errorf("unknown estimation mode %q", *mode)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+
+	fmt.Printf("scenario: %d devices, %d tuples (%v, %d attrs), d=%g, %v/%v dynamic=%v, %gs simulated\n",
+		p.NumDevices(), p.GlobalN, p.Dist, p.Dim, p.QueryDist, p.Strategy, p.Mode, p.Dynamic, p.SimTime)
+
+	out := manet.Run(p)
+
+	if *verbose {
+		fmt.Println("\nper-query metrics:")
+		for _, q := range out.Queries {
+			status := "incomplete"
+			rt := ""
+			if q.Done {
+				status = "done"
+				rt = fmt.Sprintf(" rt=%.3fs", q.ResponseTime)
+			}
+			fmt.Printf("  org=%-3d cnt=%-3d t=%-8.1f %-10s%s drr=%+.3f devices=%d msgs=%d result=%d\n",
+				q.Org, q.Key.Cnt, q.Issued, status, rt, q.DRR(), q.Acc.Devices, q.Messages, q.ResultTuples)
+		}
+	}
+
+	fmt.Printf("\nqueries issued:   %d (skipped %d while busy)\n", len(out.Queries), out.SkippedIssues)
+	fmt.Printf("completion rate:  %.1f%%\n", out.CompletionRate()*100)
+	fmt.Printf("pooled DRR:       %.3f\n", out.PooledDRR())
+	if rt, ok := out.MeanResponseTime(); ok {
+		fmt.Printf("mean resp. time:  %.3fs\n", rt)
+	} else {
+		fmt.Printf("mean resp. time:  n/a (no completed queries)\n")
+	}
+	fmt.Printf("mean msgs/query:  %.1f\n", out.MeanMessages())
+	fmt.Printf("radio frames:     %d sent, %d received, %d lost to range, %d lost to noise\n",
+		out.Radio.FramesSent, out.Radio.Receptions, out.Radio.DroppedRange, out.Radio.DroppedLoss)
+	fmt.Printf("routing overhead: %d RREQ, %d RREP, %d RERR; data %d fwd / %d delivered / %d dropped\n",
+		out.Aodv.RREQSent, out.Aodv.RREPSent, out.Aodv.RERRSent,
+		out.Aodv.DataForwarded, out.Aodv.DataDelivered, out.Aodv.DataDropped)
+	if out.Transfers > 0 {
+		fmt.Printf("redistribution:   %d relation hand-offs\n", out.Transfers)
+	}
+	fmt.Printf("events executed:  %d\n", out.Events)
+	return nil
+}

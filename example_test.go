@@ -1,0 +1,70 @@
+package manetskyline_test
+
+import (
+	"fmt"
+
+	sky "manetskyline"
+)
+
+// The paper's §3.2 walk-through: device M2 originates a query over hotel
+// relations held by two devices; the filtering tuple h21 prunes M1's local
+// skyline before transmission.
+func Example() {
+	hotel := func(x float64, price, rating float64) sky.Tuple {
+		return sky.Tuple{X: x, Y: x, Attrs: []float64{price, rating}}
+	}
+	r1 := []sky.Tuple{
+		hotel(11, 20, 7), hotel(12, 40, 5), hotel(13, 80, 7),
+		hotel(14, 80, 4), hotel(15, 100, 7), hotel(16, 100, 3),
+	}
+	r2 := []sky.Tuple{
+		hotel(21, 60, 3), hotel(22, 90, 2), hotel(23, 120, 1),
+		hotel(24, 140, 2), hotel(25, 100, 4),
+	}
+	schema := sky.Schema{Min: []float64{0, 0}, Max: []float64{200, 10}}
+
+	m1 := sky.NewDevice(1, r1, schema, sky.Exact, true)
+	m2 := sky.NewDevice(2, r2, schema, sky.Exact, true)
+
+	q, local := m2.Originate(sky.Point{}, sky.Unconstrained())
+	fmt.Printf("filter: price=%.0f rating=%.0f\n", q.Filter.Attrs[0], q.Filter.Attrs[1])
+
+	reply := m1.Process(q)
+	fmt.Printf("M1 sends %d of %d local skyline tuples\n", len(reply.Skyline), reply.Unreduced)
+
+	final := sky.Merge(local.Skyline, reply.Skyline)
+	fmt.Printf("final skyline: %d hotels\n", len(final))
+	// Output:
+	// filter: price=60 rating=3
+	// M1 sends 2 of 4 local skyline tuples
+	// final skyline: 5 hotels
+}
+
+// ExampleSkyline evaluates a centralized skyline.
+func ExampleSkyline() {
+	data := []sky.Tuple{
+		{X: 0, Y: 0, Attrs: []float64{1, 9}},
+		{X: 1, Y: 1, Attrs: []float64{5, 5}},
+		{X: 2, Y: 2, Attrs: []float64{9, 1}},
+		{X: 3, Y: 3, Attrs: []float64{6, 6}}, // dominated by (5,5)
+	}
+	for _, t := range sky.Skyline(data) {
+		fmt.Println(t.Attrs)
+	}
+	// Output:
+	// [1 9]
+	// [5 5]
+	// [9 1]
+}
+
+// ExampleConstrainedSkyline restricts the skyline to a query region.
+func ExampleConstrainedSkyline() {
+	data := []sky.Tuple{
+		{X: 0, Y: 0, Attrs: []float64{3, 3}},
+		{X: 100, Y: 0, Attrs: []float64{1, 1}}, // better, but too far
+	}
+	result := sky.ConstrainedSkyline(data, sky.Point{X: 0, Y: 0}, 50)
+	fmt.Println(len(result), result[0].Attrs)
+	// Output:
+	// 1 [3 3]
+}

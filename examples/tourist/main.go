@@ -1,0 +1,77 @@
+// Tourist is the paper's §2 motivating scenario on the live peer runtime: a
+// tourist's handset wants inexpensive, highly rated restaurants within
+// walking distance, but its own data covers only part of the area, so it
+// queries nearby devices over ad hoc links. Every peer is a goroutine;
+// messages travel over an in-memory transport with latency and loss.
+//
+// Run with: go run ./examples/tourist
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"manetskyline/internal/core"
+	"manetskyline/internal/gen"
+	"manetskyline/internal/p2p"
+	"manetskyline/internal/tuple"
+)
+
+func main() {
+	// A city district: 20,000 restaurants over a 1000×1000 m area, each
+	// with a price level and a rating (smaller is better for both, as in
+	// the paper's examples).
+	cfg := gen.DefaultConfig(20000, 2, gen.Independent, 2026)
+	restaurants := gen.Generate(cfg)
+
+	// Sixteen devices each carry the data of one 250×250 m cell — nobody
+	// holds the whole city.
+	const g = 4
+	parts := gen.GridPartition(restaurants, g, cfg.Space)
+
+	net := p2p.NewNetwork(p2p.Config{
+		Latency:      3 * time.Millisecond,
+		Jitter:       2 * time.Millisecond,
+		Loss:         0.02,
+		QueryTimeout: 2 * time.Second,
+		Quorum:       0.8, // like the paper's BF response-time rule
+		Seed:         7,
+	})
+	defer net.Close()
+
+	peers := make([]*p2p.Peer, len(parts))
+	for i, part := range parts {
+		pos := gen.CellRect(i/g, i%g, g, cfg.Space).Center()
+		peers[i] = net.AddPeer(core.DeviceID(i), part, cfg.Schema(), core.Under, true, pos)
+	}
+	// Ad hoc links between devices within radio range.
+	net.LinkByRange(380)
+
+	// The tourist stands near the middle of the city and wants options
+	// within 300 m.
+	me := peers[5]
+	const walkingDistance = 300
+
+	local := me.LocalSkyline(walkingDistance)
+	fmt.Printf("my own data only: %d candidate restaurants\n", len(local))
+
+	// Progressive refinement: watch the answer improve as devices reply.
+	res, err := me.QueryProgressive(walkingDistance, func(partial []tuple.Tuple, results int) {
+		fmt.Printf("  ... %d replies in: %d candidates so far\n", results, len(partial))
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("after asking %d nearby devices (%.0f ms): %d candidates, complete=%v\n\n",
+		res.Results, float64(res.Elapsed.Microseconds())/1000, len(res.Skyline), res.Complete)
+
+	sort.Slice(res.Skyline, func(i, j int) bool {
+		return res.Skyline[i].Attrs[0] < res.Skyline[j].Attrs[0]
+	})
+	fmt.Println("the skyline — no restaurant is both cheaper and better rated than any of these:")
+	for _, r := range res.Skyline {
+		fmt.Printf("  at (%4.0f,%4.0f)  %3.0f m away  price level %4.0f  rating %4.0f\n",
+			r.X, r.Y, me.Pos().Dist(tuple.Point{X: r.X, Y: r.Y}), r.Attrs[0], r.Attrs[1])
+	}
+}

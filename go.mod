@@ -1,0 +1,3 @@
+module manetskyline
+
+go 1.22

@@ -1,0 +1,481 @@
+// Package aodv implements the Ad hoc On-demand Distance Vector routing
+// protocol the paper's simulations use (Table 7): reactive route discovery
+// by flooding route requests (RREQ), route replies (RREP) travelling back
+// along reverse paths, per-destination sequence numbers for freshness,
+// route lifetimes, local repair on link breaks, and route error reports
+// (RERR).
+//
+// The network owns every node's radio handler and demultiplexes control
+// packets, routed data, and one-hop application broadcasts. Applications
+// (internal/manet) send routed unicasts with Send and neighbourhood
+// broadcasts with BroadcastLocal, and receive through the callbacks they
+// register when adding a node.
+package aodv
+
+import (
+	"fmt"
+
+	"manetskyline/internal/mobility"
+	"manetskyline/internal/radio"
+	"manetskyline/internal/sim"
+)
+
+// Config tunes protocol constants; the defaults follow the AODV RFC's
+// spirit scaled to the paper's 2-hour pedestrian-speed scenarios.
+type Config struct {
+	// TTL bounds RREQ flooding (maximum hop count).
+	TTL int
+	// RouteLifetime is how long an unused route stays valid (seconds).
+	RouteLifetime float64
+	// DiscoveryTimeout is how long a node waits for an RREP before
+	// retrying (seconds).
+	DiscoveryTimeout float64
+	// DiscoveryRetries is how many times discovery is retried before the
+	// pending packets are dropped.
+	DiscoveryRetries int
+	// SeenLifetime is how long (orig, rreqID) pairs are remembered.
+	SeenLifetime float64
+}
+
+// DefaultConfig returns the simulation defaults.
+func DefaultConfig() Config {
+	return Config{
+		TTL:              32,
+		RouteLifetime:    15,
+		DiscoveryTimeout: 1.0,
+		DiscoveryRetries: 2,
+		SeenLifetime:     30,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.TTL <= 0 {
+		return fmt.Errorf("aodv: non-positive TTL %d", c.TTL)
+	}
+	if c.RouteLifetime <= 0 || c.DiscoveryTimeout <= 0 || c.SeenLifetime <= 0 {
+		return fmt.Errorf("aodv: non-positive timing constants")
+	}
+	if c.DiscoveryRetries < 0 {
+		return fmt.Errorf("aodv: negative retries")
+	}
+	return nil
+}
+
+// DataHandler receives routed application payloads; src is the node that
+// originated the unicast.
+type DataHandler func(src radio.NodeID, payload radio.Payload)
+
+// LocalHandler receives one-hop application broadcasts; from is the
+// neighbour that transmitted.
+type LocalHandler func(from radio.NodeID, payload radio.Payload)
+
+// Counters aggregates protocol activity across the network.
+type Counters struct {
+	RREQSent      int
+	RREPSent      int
+	RERRSent      int
+	DataForwarded int // hop-level data transmissions
+	DataDelivered int // end-to-end deliveries
+	DataDropped   int // gave up (no route after retries, TTL, or break)
+}
+
+// Network is a set of AODV nodes sharing one radio medium.
+type Network struct {
+	eng   *sim.Engine
+	med   *radio.Medium
+	cfg   Config
+	nodes []*node
+
+	// Counters is exported for metric collection.
+	Counters Counters
+
+	// ForwardHook, when set, is called with the application payload for
+	// every hop-level data transmission; the manet layer uses it to
+	// attribute per-query message counts (Figure 12) to overlapping
+	// queries.
+	ForwardHook func(payload radio.Payload)
+}
+
+// New creates an AODV network on the given engine and medium. The medium
+// must be empty: the network owns all radio handlers.
+func New(eng *sim.Engine, med *radio.Medium, cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if med.NumNodes() != 0 {
+		panic("aodv: medium already has nodes")
+	}
+	return &Network{eng: eng, med: med, cfg: cfg}
+}
+
+// AddNode registers a node with its mobility model and application
+// handlers (either may be nil if unused) and returns its ID.
+func (n *Network) AddNode(mob mobility.Model, onData DataHandler, onLocal LocalHandler) radio.NodeID {
+	nd := &node{
+		net:     n,
+		routes:  make(map[radio.NodeID]*route),
+		seen:    make(map[seenKey]float64),
+		pending: make(map[radio.NodeID]*discovery),
+		onData:  onData,
+		onLocal: onLocal,
+	}
+	nd.id = n.med.AddNode(mob, nd.receive)
+	n.nodes = append(n.nodes, nd)
+	return nd.id
+}
+
+// Send routes payload from src to dst, discovering a route if necessary.
+// Delivery is best-effort: packets may be dropped after failed discovery
+// retries or on unrepairable link breaks; the application must use its own
+// timeouts.
+func (n *Network) Send(src, dst radio.NodeID, payload radio.Payload) {
+	if src == dst {
+		panic("aodv: self-addressed send")
+	}
+	n.nodes[src].sendData(&dataPkt{Src: src, Dst: dst, Inner: payload})
+}
+
+// BroadcastLocal transmits payload to src's current one-hop neighbourhood
+// and returns the number of addressed receivers.
+func (n *Network) BroadcastLocal(src radio.NodeID, payload radio.Payload) int {
+	return n.med.Broadcast(src, &localPkt{Inner: payload})
+}
+
+// HasRoute reports whether src currently holds a valid route to dst
+// (useful for tests and diagnostics).
+func (n *Network) HasRoute(src, dst radio.NodeID) bool {
+	r, ok := n.nodes[src].routes[dst]
+	return ok && r.valid && r.expires > n.eng.Now()
+}
+
+// --- wire format -----------------------------------------------------------
+
+type rreqPkt struct {
+	Orig    radio.NodeID
+	OrigSeq uint32
+	ID      uint32
+	Dst     radio.NodeID
+	DstSeq  uint32
+	Hops    int
+}
+
+func (*rreqPkt) SizeBytes() int { return 24 }
+
+type rrepPkt struct {
+	Orig   radio.NodeID // the requester the reply travels to
+	Dst    radio.NodeID // the destination the route leads to
+	DstSeq uint32
+	Hops   int
+}
+
+func (*rrepPkt) SizeBytes() int { return 20 }
+
+type rerrPkt struct {
+	Dst    radio.NodeID // unreachable destination
+	DstSeq uint32
+}
+
+func (*rerrPkt) SizeBytes() int { return 12 }
+
+type dataPkt struct {
+	Src   radio.NodeID
+	Dst   radio.NodeID
+	Hops  int
+	Inner radio.Payload
+}
+
+func (d *dataPkt) SizeBytes() int { return 16 + d.Inner.SizeBytes() }
+
+type localPkt struct {
+	Inner radio.Payload
+}
+
+func (l *localPkt) SizeBytes() int { return 4 + l.Inner.SizeBytes() }
+
+// --- node state ------------------------------------------------------------
+
+type route struct {
+	nextHop radio.NodeID
+	seq     uint32
+	hops    int
+	expires float64
+	valid   bool
+}
+
+type seenKey struct {
+	orig radio.NodeID
+	id   uint32
+}
+
+type discovery struct {
+	packets []*dataPkt
+	retries int
+	active  bool
+}
+
+type node struct {
+	net     *Network
+	id      radio.NodeID
+	seqNo   uint32
+	rreqID  uint32
+	routes  map[radio.NodeID]*route
+	seen    map[seenKey]float64
+	pending map[radio.NodeID]*discovery
+	onData  DataHandler
+	onLocal LocalHandler
+}
+
+func (nd *node) now() float64 { return nd.net.eng.Now() }
+
+// touchRoute installs or refreshes a route.
+func (nd *node) touchRoute(dst, nextHop radio.NodeID, seq uint32, hops int) {
+	r, ok := nd.routes[dst]
+	now := nd.now()
+	fresher := !ok || !r.valid || r.expires <= now ||
+		seq > r.seq || (seq == r.seq && hops < r.hops)
+	if fresher {
+		nd.routes[dst] = &route{
+			nextHop: nextHop, seq: seq, hops: hops,
+			expires: now + nd.net.cfg.RouteLifetime, valid: true,
+		}
+		return
+	}
+	if r.nextHop == nextHop {
+		r.expires = now + nd.net.cfg.RouteLifetime
+	}
+}
+
+// validRoute returns the current route to dst, or nil.
+func (nd *node) validRoute(dst radio.NodeID) *route {
+	r, ok := nd.routes[dst]
+	if !ok || !r.valid || r.expires <= nd.now() {
+		return nil
+	}
+	return r
+}
+
+// invalidateVia marks every route through the broken neighbour invalid.
+func (nd *node) invalidateVia(neighbor radio.NodeID) []radio.NodeID {
+	var lost []radio.NodeID
+	for dst, r := range nd.routes {
+		if r.valid && r.nextHop == neighbor {
+			r.valid = false
+			lost = append(lost, dst)
+		}
+	}
+	return lost
+}
+
+// receive is the radio handler: demultiplex by packet type.
+func (nd *node) receive(from radio.NodeID, p radio.Payload) {
+	// Every heard frame proves a live link to the neighbour.
+	nd.touchRoute(from, from, 0, 1)
+	switch pkt := p.(type) {
+	case *rreqPkt:
+		nd.handleRREQ(from, pkt)
+	case *rrepPkt:
+		nd.handleRREP(from, pkt)
+	case *rerrPkt:
+		nd.handleRERR(from, pkt)
+	case *dataPkt:
+		nd.handleData(pkt)
+	case *localPkt:
+		if nd.onLocal != nil {
+			nd.onLocal(from, pkt.Inner)
+		}
+	default:
+		panic(fmt.Sprintf("aodv: unknown packet type %T", p))
+	}
+}
+
+func (nd *node) handleRREQ(from radio.NodeID, q *rreqPkt) {
+	key := seenKey{orig: q.Orig, id: q.ID}
+	if exp, ok := nd.seen[key]; ok && exp > nd.now() {
+		return
+	}
+	nd.seen[key] = nd.now() + nd.net.cfg.SeenLifetime
+
+	if q.Orig == nd.id {
+		return // own flood came back
+	}
+	// Reverse route toward the requester.
+	nd.touchRoute(q.Orig, from, q.OrigSeq, q.Hops+1)
+
+	if q.Dst == nd.id {
+		// Destination replies; bump own sequence number to at least the
+		// requested freshness.
+		if q.DstSeq > nd.seqNo {
+			nd.seqNo = q.DstSeq
+		}
+		nd.seqNo++
+		nd.sendRREP(&rrepPkt{Orig: q.Orig, Dst: nd.id, DstSeq: nd.seqNo, Hops: 0})
+		return
+	}
+	// Intermediate node with a fresh-enough route replies on the
+	// destination's behalf.
+	if r := nd.validRoute(q.Dst); r != nil && r.seq >= q.DstSeq {
+		nd.sendRREP(&rrepPkt{Orig: q.Orig, Dst: q.Dst, DstSeq: r.seq, Hops: r.hops})
+		return
+	}
+	// Otherwise keep flooding.
+	if q.Hops+1 >= nd.net.cfg.TTL {
+		return
+	}
+	fwd := *q
+	fwd.Hops++
+	nd.net.Counters.RREQSent++
+	nd.net.med.Broadcast(nd.id, &fwd)
+}
+
+// sendRREP forwards a route reply one hop toward its requester.
+func (nd *node) sendRREP(p *rrepPkt) {
+	r := nd.validRoute(p.Orig)
+	if r == nil {
+		return // reverse route evaporated; discovery will time out
+	}
+	nd.net.Counters.RREPSent++
+	nd.net.med.Unicast(nd.id, r.nextHop, p)
+}
+
+func (nd *node) handleRREP(from radio.NodeID, p *rrepPkt) {
+	// Forward route to the destination through the neighbour that sent us
+	// the reply.
+	nd.touchRoute(p.Dst, from, p.DstSeq, p.Hops+1)
+	if p.Orig == nd.id {
+		nd.routeEstablished(p.Dst)
+		return
+	}
+	fwd := *p
+	fwd.Hops++
+	nd.sendRREP(&fwd)
+}
+
+func (nd *node) handleRERR(from radio.NodeID, p *rerrPkt) {
+	r, ok := nd.routes[p.Dst]
+	if ok && r.valid && r.nextHop == from {
+		r.valid = false
+	}
+}
+
+func (nd *node) handleData(p *dataPkt) {
+	if p.Dst == nd.id {
+		nd.net.Counters.DataDelivered++
+		if nd.onData != nil {
+			nd.onData(p.Src, p.Inner)
+		}
+		return
+	}
+	if p.Hops >= nd.net.cfg.TTL {
+		nd.net.Counters.DataDropped++
+		return
+	}
+	fwd := *p
+	fwd.Hops++
+	nd.sendData(&fwd)
+}
+
+// sendData forwards a data packet toward its destination, running route
+// discovery or local repair as needed.
+func (nd *node) sendData(p *dataPkt) {
+	r := nd.validRoute(p.Dst)
+	if r == nil {
+		nd.queueForDiscovery(p)
+		return
+	}
+	nd.net.Counters.DataForwarded++
+	if nd.net.med.Unicast(nd.id, r.nextHop, p) {
+		r.expires = nd.now() + nd.net.cfg.RouteLifetime
+		if nd.net.ForwardHook != nil {
+			nd.net.ForwardHook(p.Inner)
+		}
+		return
+	}
+	// Link break: invalidate, tell upstream, and attempt local repair.
+	nd.net.Counters.DataForwarded-- // transmission did not happen
+	for _, lost := range nd.invalidateVia(r.nextHop) {
+		if p.Src != nd.id {
+			nd.sendRERRToward(p.Src, lost)
+		}
+	}
+	nd.queueForDiscovery(p)
+}
+
+// sendRERRToward reports an unreachable destination back toward a source.
+func (nd *node) sendRERRToward(src, lostDst radio.NodeID) {
+	r := nd.validRoute(src)
+	if r == nil {
+		return
+	}
+	lr := nd.routes[lostDst]
+	var seq uint32
+	if lr != nil {
+		seq = lr.seq + 1
+	}
+	nd.net.Counters.RERRSent++
+	nd.net.med.Unicast(nd.id, r.nextHop, &rerrPkt{Dst: lostDst, DstSeq: seq})
+}
+
+// queueForDiscovery buffers a packet and kicks off route discovery.
+func (nd *node) queueForDiscovery(p *dataPkt) {
+	d, ok := nd.pending[p.Dst]
+	if !ok {
+		d = &discovery{}
+		nd.pending[p.Dst] = d
+	}
+	d.packets = append(d.packets, p)
+	if !d.active {
+		d.active = true
+		d.retries = 0
+		nd.startDiscovery(p.Dst)
+	}
+}
+
+func (nd *node) startDiscovery(dst radio.NodeID) {
+	nd.rreqID++
+	nd.seqNo++
+	var dstSeq uint32
+	if r, ok := nd.routes[dst]; ok {
+		dstSeq = r.seq
+	}
+	id := nd.rreqID
+	nd.net.Counters.RREQSent++
+	nd.net.med.Broadcast(nd.id, &rreqPkt{
+		Orig: nd.id, OrigSeq: nd.seqNo, ID: id, Dst: dst, DstSeq: dstSeq,
+	})
+	nd.net.eng.Schedule(nd.net.cfg.DiscoveryTimeout, func() {
+		nd.discoveryTimeout(dst)
+	})
+}
+
+func (nd *node) discoveryTimeout(dst radio.NodeID) {
+	d, ok := nd.pending[dst]
+	if !ok || !d.active {
+		return
+	}
+	if nd.validRoute(dst) != nil {
+		nd.routeEstablished(dst)
+		return
+	}
+	if d.retries < nd.net.cfg.DiscoveryRetries {
+		d.retries++
+		nd.startDiscovery(dst)
+		return
+	}
+	// Give up: drop the buffered packets.
+	nd.net.Counters.DataDropped += len(d.packets)
+	delete(nd.pending, dst)
+}
+
+// routeEstablished flushes packets buffered for dst.
+func (nd *node) routeEstablished(dst radio.NodeID) {
+	d, ok := nd.pending[dst]
+	if !ok {
+		return
+	}
+	pkts := d.packets
+	delete(nd.pending, dst)
+	for _, p := range pkts {
+		nd.sendData(p)
+	}
+}

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"manetskyline/internal/gen"
+	"manetskyline/internal/skyline"
+	"manetskyline/internal/tuple"
+)
+
+// AblationBaselines races every centralized skyline algorithm in the
+// repository — the paper's §6 related-work lineup — on one dataset per
+// distribution: BNL and D&C (Börzsönyi et al.), SFS (Chomicki et al.),
+// the O(n log n) 2-D sort, Bitmap and Index (Tan et al.), NN (Kossmann et
+// al.), and BBS over an R-tree (Papadias et al.). BBS is reported twice: including and excluding index
+// construction, since the index is normally amortized.
+func AblationBaselines(sc Scale) []*Table {
+	p := sc.params()
+	n := p.F5DimCard
+	t := &Table{
+		ID:      "ablation-baselines",
+		Title:   fmt.Sprintf("centralized skyline algorithms (host ms, %d tuples, 2 attrs)", n),
+		Columns: []string{"algorithm", "IN", "AC", "skyline-IN", "skyline-AC"},
+	}
+
+	type algo struct {
+		name string
+		run  func([]tuple.Tuple) []tuple.Tuple
+	}
+	algos := []algo{
+		{"BNL", skyline.BNL},
+		{"SFS", skyline.SFS},
+		{"D&C", skyline.DivideAndConquer},
+		{"Sort2D", skyline.Sort2D},
+		{"Bitmap", skyline.Bitmap},
+		{"Index", skyline.Index},
+		{"NN", skyline.NN},
+		{"BBS(+build)", skyline.BBS},
+	}
+
+	datasets := map[gen.Distribution][]tuple.Tuple{}
+	for _, dist := range []gen.Distribution{gen.Independent, gen.AntiCorrelated} {
+		datasets[dist] = gen.Generate(gen.DefaultConfig(n, 2, dist, p.Seed))
+	}
+
+	for _, a := range algos {
+		var ms [2]float64
+		var sizes [2]int
+		for di, dist := range []gen.Distribution{gen.Independent, gen.AntiCorrelated} {
+			start := time.Now()
+			sky := a.run(datasets[dist])
+			ms[di] = time.Since(start).Seconds() * 1e3
+			sizes[di] = len(sky)
+		}
+		t.AddRow(a.name, ms[0], ms[1], sizes[0], sizes[1])
+	}
+
+	// BBS with the index built ahead of time.
+	var ms [2]float64
+	var sizes [2]int
+	for di, dist := range []gen.Distribution{gen.Independent, gen.AntiCorrelated} {
+		tree := skyline.BuildAttrTree(datasets[dist])
+		start := time.Now()
+		sky := skyline.BBSOnTree(datasets[dist], tree)
+		ms[di] = time.Since(start).Seconds() * 1e3
+		sizes[di] = len(sky)
+	}
+	t.AddRow("BBS(indexed)", ms[0], ms[1], sizes[0], sizes[1])
+	return []*Table{t}
+}

@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]Scale{
+		"small": Small, "default": Default, "": Default, "paper": Paper,
+	} {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScale("bogus"); err == nil {
+		t.Errorf("bogus scale should error")
+	}
+	if Small.String() != "small" || Default.String() != "default" || Paper.String() != "paper" {
+		t.Errorf("scale names wrong")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("long-label", 0.123456)
+	var buf bytes.Buffer
+	if _, err := tab.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "long-label") {
+		t.Errorf("missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "0.1235") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+}
+
+func TestTableRowWidthPanics(t *testing.T) {
+	tab := &Table{ID: "x", Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("short row should panic")
+		}
+	}()
+	tab.AddRow(1)
+}
+
+func TestTableCSV(t *testing.T) {
+	dir := t.TempDir()
+	tab := &Table{ID: "csvtest", Title: "t", Columns: []string{"a", "b"}}
+	tab.AddRow(1, 2)
+	if err := tab.WriteCSV(dir); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "csvtest.csv"))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(data) != "a,b\n1,2\n" {
+		t.Errorf("csv content %q", data)
+	}
+}
+
+func TestRegistryLookups(t *testing.T) {
+	names := []string{"fig5a", "fig5b", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "sim", "baselines", "storage", "multifilter", "redistribution", "spatialindex", "all"}
+	for _, n := range names {
+		if _, err := Lookup(n); err != nil {
+			t.Errorf("Lookup(%q): %v", n, err)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Errorf("unknown experiment should error")
+	}
+	if len(Experiments()) != len(names) {
+		t.Errorf("registry has %d experiments, want %d", len(Experiments()), len(names))
+	}
+}
+
+// parseCell reads a numeric cell.
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestFig5SmallShapes(t *testing.T) {
+	tabs := Fig5a(Small)
+	if len(tabs) != 2 {
+		t.Fatalf("Fig5a returned %d tables", len(tabs))
+	}
+	dev := tabs[0]
+	if len(dev.Rows) != 2 {
+		t.Fatalf("small scale should sweep 2 cardinalities")
+	}
+	// HS must beat FS on every row for both distributions (the Figure 5
+	// claim), in estimated device time.
+	for _, row := range dev.Rows {
+		fsIN, hsIN := parseCell(t, row[1]), parseCell(t, row[2])
+		fsAC, hsAC := parseCell(t, row[3]), parseCell(t, row[4])
+		if hsIN >= fsIN {
+			t.Errorf("row %s: HS-IN %v should beat FS-IN %v", row[0], hsIN, fsIN)
+		}
+		if hsAC >= fsAC {
+			t.Errorf("row %s: HS-AC %v should beat FS-AC %v", row[0], hsAC, fsAC)
+		}
+	}
+	tabs5b := Fig5b(Small)
+	if len(tabs5b) != 2 || len(tabs5b[0].Rows) != 2 {
+		t.Fatalf("Fig5b shape wrong")
+	}
+	for _, row := range tabs5b[0].Rows {
+		if parseCell(t, row[2]) >= parseCell(t, row[1]) {
+			t.Errorf("dim %s: HS should beat FS", row[0])
+		}
+	}
+}
+
+func TestFig6SmallShapes(t *testing.T) {
+	tabs := Fig6(Small)
+	if len(tabs) != 3 {
+		t.Fatalf("Fig6 should produce 3 sub-figures")
+	}
+	for _, tab := range tabs {
+		if len(tab.Columns) != 7 { // param + 6 series
+			t.Fatalf("%s: %d columns, want 7", tab.ID, len(tab.Columns))
+		}
+		for _, row := range tab.Rows {
+			for i := 1; i < len(row); i++ {
+				drr := parseCell(t, row[i])
+				if drr < -1 || drr > 1 {
+					t.Errorf("%s row %s: DRR %v out of range", tab.ID, row[0], drr)
+				}
+			}
+		}
+	}
+	// On independent data the dynamic strategy should achieve positive
+	// reduction in the cardinality sweep's largest setting.
+	last := tabs[0].Rows[len(tabs[0].Rows)-1]
+	dfEXT := parseCell(t, last[5]) // columns: tuples, SF-OVE, SF-EXT, SF-UNE, DF-OVE, DF-EXT, DF-UNE
+	if dfEXT <= 0 {
+		t.Errorf("DF-EXT DRR should be positive on independent data, got %v (row %v)", dfEXT, last)
+	}
+}
+
+func TestSimFiguresSmall(t *testing.T) {
+	drr, resp, msgs := simFigures(Small, 0 /* Independent */, "fig8", "fig10")
+	if len(drr) != 3 || len(resp) != 3 || msgs == nil {
+		t.Fatalf("simFigures shape wrong: %d %d", len(drr), len(resp))
+	}
+	for _, tab := range append(append([]*Table{}, drr...), resp...) {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s has no rows", tab.ID)
+		}
+	}
+	// Response times must be positive where present.
+	for _, tab := range resp {
+		for _, row := range tab.Rows {
+			for _, cell := range row[1:] {
+				if cell == "n/a" {
+					continue
+				}
+				if v := parseCell(t, cell); v <= 0 {
+					t.Errorf("%s: non-positive response time %v", tab.ID, v)
+				}
+			}
+		}
+	}
+	// Message counts grow with the device count for BF.
+	if len(msgs.Rows) >= 2 {
+		firstBF := parseCell(t, msgs.Rows[0][len(msgs.Columns)-1])
+		lastBF := parseCell(t, msgs.Rows[len(msgs.Rows)-1][len(msgs.Columns)-1])
+		if lastBF <= firstBF {
+			t.Errorf("BF message count should grow with devices: %v → %v", firstBF, lastBF)
+		}
+	}
+}
+
+func TestAblationStorageSmall(t *testing.T) {
+	tabs := AblationStorage(Small)
+	if len(tabs) != 1 || len(tabs[0].Rows) != 4 {
+		t.Fatalf("ablation-storage shape wrong")
+	}
+	var flatKiB, hybridKiB float64
+	for _, row := range tabs[0].Rows {
+		switch row[0] {
+		case "flat":
+			flatKiB = parseCell(t, row[3])
+		case "hybrid":
+			hybridKiB = parseCell(t, row[3])
+		}
+	}
+	if hybridKiB >= flatKiB {
+		t.Errorf("hybrid (%v KiB) should be smaller than flat (%v KiB)", hybridKiB, flatKiB)
+	}
+}
+
+func TestAblationMultiFilterSmall(t *testing.T) {
+	tabs := AblationMultiFilter(Small)
+	if len(tabs) != 1 || len(tabs[0].Rows) != 5 {
+		t.Fatalf("ablation-multifilter shape wrong")
+	}
+	// More filters must not reduce the number of pruned tuples; the DRR can
+	// still dip because each filter costs a transmission, so only check the
+	// k=1 row is sane.
+	first := parseCell(t, tabs[0].Rows[0][1])
+	if first < -1 || first > 1 {
+		t.Errorf("DRR out of range: %v", first)
+	}
+}
+
+func TestEmit(t *testing.T) {
+	dir := t.TempDir()
+	tab := &Table{ID: "emitted", Title: "t", Columns: []string{"a"}}
+	tab.AddRow(1)
+	var buf bytes.Buffer
+	if err := Emit(&buf, dir, tab); err != nil {
+		t.Fatalf("Emit: %v", err)
+	}
+	if !strings.Contains(buf.String(), "emitted") {
+		t.Errorf("text output missing")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "emitted.csv")); err != nil {
+		t.Errorf("csv missing: %v", err)
+	}
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+
+	"manetskyline/internal/manet"
+	"manetskyline/internal/skyline"
+	"manetskyline/internal/stats"
+	"manetskyline/internal/tuple"
+)
+
+// AblationRedistribution evaluates the §7 mobility extension: with devices
+// roaming under random waypoint, how much of the true constrained skyline
+// do completed queries recover (recall), with and without periodic
+// relation hand-offs to devices closer to the data's region?
+func AblationRedistribution(sc Scale) []*Table {
+	p := sc.params()
+	t := &Table{
+		ID: "ablation-redistribution",
+		Title: fmt.Sprintf("relation redistribution under mobility (%d tuples, %d×%d grid, d=250, BF)",
+			p.SimCard, p.SimGrid, p.SimGrid),
+		Columns: []string{"redistribute", "recall", "completion", "respTime", "transfers"},
+	}
+	for _, redist := range []bool{false, true} {
+		mp := manet.DefaultParams()
+		mp.Grid = p.SimGrid
+		mp.GlobalN = p.SimCard
+		mp.Dim = 2
+		mp.QueryDist = 250
+		mp.SimTime = p.SimTime
+		mp.MinQueries, mp.MaxQueries = p.MinQueries, p.MaxQueries
+		mp.Seed = p.Seed
+		mp.KeepSkylines = true
+		mp.Redistribute = redist
+		out := manet.Run(mp)
+
+		// Ground truth is the constrained skyline over the (invariant)
+		// global relation.
+		var global []tuple.Tuple
+		seen := map[[2]float64]bool{}
+		for _, ts := range out.DeviceTuples {
+			for _, tp := range ts {
+				k := [2]float64{tp.X, tp.Y}
+				if !seen[k] {
+					seen[k] = true
+					global = append(global, tp)
+				}
+			}
+		}
+		var recalls []float64
+		for _, q := range out.Queries {
+			if !q.Done {
+				continue
+			}
+			truth := skyline.Constrained(global, q.Pos, q.D)
+			if len(truth) == 0 {
+				continue
+			}
+			hit := 0
+			for _, want := range truth {
+				if skyline.Contains(q.Skyline, want) {
+					hit++
+				}
+			}
+			recalls = append(recalls, float64(hit)/float64(len(truth)))
+		}
+		resp, _ := out.MeanResponseTime()
+		label := "off"
+		if redist {
+			label = "on"
+		}
+		t.AddRow(label, stats.Mean(recalls), out.CompletionRate(), resp, out.Transfers)
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is a named, runnable reproduction artifact.
+type Experiment struct {
+	// Name is the CLI identifier ("fig5a", "fig8", "all", ...).
+	Name string
+	// Description says what the experiment regenerates.
+	Description string
+	// Run produces the experiment's tables at the given scale.
+	Run func(Scale) []*Table
+}
+
+// Experiments returns the registry, sorted by name.
+func Experiments() []Experiment {
+	exps := []Experiment{
+		{"fig5a", "local processing time vs. cardinality, HS vs FS (Figure 5a)", Fig5a},
+		{"fig5b", "local processing time vs. dimensionality (Figure 5b)", Fig5b},
+		{"fig5", "both local processing experiments (Figure 5)", func(sc Scale) []*Table {
+			return append(Fig5a(sc), Fig5b(sc)...)
+		}},
+		{"fig6", "static DRR on independent data, SF/DF × OVE/EXT/UNE (Figure 6)", Fig6},
+		{"fig7", "static DRR on anti-correlated data (Figure 7)", Fig7},
+		{"fig8", "MANET DRR on independent data, BF/DF × distance (Figure 8)", Fig8},
+		{"fig9", "MANET DRR on anti-correlated data (Figure 9)", Fig9},
+		{"fig10", "MANET response time on independent data (Figure 10)", Fig10},
+		{"fig11", "MANET response time on anti-correlated data (Figure 11)", Fig11},
+		{"fig12", "query message count vs. device count, BF vs DF (Figure 12)", Fig12},
+		{"sim", "all MANET simulation figures in one sweep (Figures 8-12)", SimAll},
+		{"baselines", "ablation: all centralized skyline algorithms head to head (§6)", AblationBaselines},
+		{"storage", "ablation: storage models' time and size (§4.1 in prose)", AblationStorage},
+		{"multifilter", "extension: DRR vs. number of filtering tuples (§7)", AblationMultiFilter},
+		{"redistribution", "extension: relation hand-off under mobility (§7)", AblationRedistribution},
+		{"spatialindex", "extension: spatial bucket grid vs. the Figure 4 sequential scan", AblationSpatialIndex},
+		{"all", "every figure and ablation", runAll},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].Name < exps[j].Name })
+	return exps
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", name)
+}
+
+// runAll regenerates everything, sharing the simulation sweeps across
+// Figures 8-12.
+func runAll(sc Scale) []*Table {
+	var out []*Table
+	out = append(out, Fig5a(sc)...)
+	out = append(out, Fig5b(sc)...)
+	out = append(out, Fig6(sc)...)
+	out = append(out, Fig7(sc)...)
+	out = append(out, SimAll(sc)...)
+	out = append(out, AblationBaselines(sc)...)
+	out = append(out, AblationStorage(sc)...)
+	out = append(out, AblationMultiFilter(sc)...)
+	out = append(out, AblationRedistribution(sc)...)
+	out = append(out, AblationSpatialIndex(sc)...)
+	return out
+}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// Every registered experiment must run to completion at Small scale and
+// emit well-formed tables. This covers the per-figure entry points the
+// shared-sweep tests don't reach. Skipped under -short: it executes several
+// full (small) MANET sweeps.
+func TestEveryExperimentRunsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep is not short")
+	}
+	for _, e := range Experiments() {
+		if e.Name == "all" || e.Name == "sim" {
+			continue // compositions of the individual experiments below
+		}
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			tables := e.Run(Small)
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.Name)
+			}
+			for _, tab := range tables {
+				if tab.ID == "" || len(tab.Columns) == 0 {
+					t.Errorf("%s produced a malformed table %+v", e.Name, tab)
+				}
+				if len(tab.Rows) == 0 {
+					t.Errorf("%s table %s has no rows", e.Name, tab.ID)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Columns) {
+						t.Errorf("%s table %s has ragged rows", e.Name, tab.ID)
+					}
+				}
+				if err := Emit(io.Discard, "", tab); err != nil {
+					t.Errorf("%s table %s failed to render: %v", e.Name, tab.ID, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,166 @@
+package bench
+
+import "fmt"
+
+// Scale selects how much of the Table 6 parameter space an experiment
+// sweeps.
+type Scale int
+
+const (
+	// Small runs in seconds; used by unit tests and testing.B benchmarks.
+	Small Scale = iota
+	// Default reproduces every figure's shape at laptop scale in minutes.
+	Default
+	// Paper sweeps the full Table 6 space (100K-1M tuples, 9-100 devices).
+	Paper
+)
+
+// ParseScale maps a flag value to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "small":
+		return Small, nil
+	case "default", "":
+		return Default, nil
+	case "paper":
+		return Paper, nil
+	default:
+		return 0, fmt.Errorf("bench: unknown scale %q (small|default|paper)", s)
+	}
+}
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Default:
+		return "default"
+	case Paper:
+		return "paper"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// params is the concrete sweep specification for one scale.
+type params struct {
+	// Figure 5 (local processing on the handheld).
+	F5Cards   []int // cardinality sweep at 2 attributes
+	F5DimCard int   // cardinality for the dimensionality sweep
+	F5Dims    []int
+
+	// Figures 6-7 (static pre-tests).
+	StaticCards []int // cardinality sweep, 5×5 grid, 2 attributes
+	StaticCard  int   // fixed cardinality for dim and device sweeps
+	StaticDims  []int
+	StaticGrids []int // grid side lengths (devices = g²)
+	StaticGrid  int   // fixed grid side
+
+	// Figures 8-12 (MANET simulation).
+	SimCards []int
+	SimCard  int
+	// SimDimCard is the cardinality for the dimensionality sweep; smaller
+	// than SimCard at default scale because anti-correlated 5-D skylines
+	// approach the whole dataset and depth-first forwarding then pays a
+	// quadratic merge on every backtrack hop (the very effect Figures
+	// 10(b)/11(b) report — visible at any cardinality).
+	SimDimCard int
+	SimDims    []int
+	SimGrids   []int
+	SimGrid    int
+	SimTime    float64
+	Distances  []float64
+	MinQueries int
+	MaxQueries int
+
+	Seed int64
+}
+
+func (s Scale) params() params {
+	switch s {
+	case Small:
+		return params{
+			F5Cards:   []int{1000, 2000},
+			F5DimCard: 2000,
+			F5Dims:    []int{2, 3},
+
+			StaticCards: []int{4000, 8000},
+			StaticCard:  6000,
+			StaticDims:  []int{2, 3},
+			StaticGrids: []int{3, 4},
+			StaticGrid:  3,
+
+			SimCards:   []int{4000, 8000},
+			SimCard:    6000,
+			SimDimCard: 4000,
+			SimDims:    []int{2, 3},
+			SimGrids:   []int{3, 4},
+			SimGrid:    3,
+			SimTime:    1200,
+			Distances:  []float64{100, 250, 500},
+			MinQueries: 1,
+			MaxQueries: 2,
+
+			Seed: 1,
+		}
+	case Paper:
+		return params{
+			F5Cards:   ints(10000, 100000, 10000),
+			F5DimCard: 50000,
+			F5Dims:    []int{2, 3, 4, 5},
+
+			StaticCards: ints(100000, 1000000, 100000),
+			StaticCard:  500000,
+			StaticDims:  []int{2, 3, 4, 5},
+			StaticGrids: []int{3, 4, 5, 6, 7, 8, 9, 10},
+			StaticGrid:  5,
+
+			SimCards:   ints(100000, 1000000, 100000),
+			SimCard:    500000,
+			SimDimCard: 500000,
+			SimDims:    []int{2, 3, 4, 5},
+			SimGrids:   []int{3, 4, 5, 6, 7, 8, 9, 10},
+			SimGrid:    5,
+			SimTime:    7200,
+			Distances:  []float64{100, 250, 500},
+			MinQueries: 1,
+			MaxQueries: 5,
+
+			Seed: 1,
+		}
+	default: // Default
+		return params{
+			F5Cards:   ints(10000, 100000, 10000),
+			F5DimCard: 50000,
+			F5Dims:    []int{2, 3, 4, 5},
+
+			StaticCards: ints(20000, 100000, 20000),
+			StaticCard:  50000,
+			StaticDims:  []int{2, 3, 4, 5},
+			StaticGrids: []int{3, 5, 7, 10},
+			StaticGrid:  5,
+
+			SimCards:   ints(20000, 100000, 20000),
+			SimCard:    50000,
+			SimDimCard: 10000,
+			SimDims:    []int{2, 3, 4, 5},
+			SimGrids:   []int{3, 5, 7},
+			SimGrid:    5,
+			SimTime:    7200,
+			Distances:  []float64{100, 250, 500},
+			MinQueries: 1,
+			MaxQueries: 2,
+
+			Seed: 1,
+		}
+	}
+}
+
+func ints(from, to, step int) []int {
+	var out []int
+	for v := from; v <= to; v += step {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"fmt"
+
+	"manetskyline/internal/core"
+	"manetskyline/internal/gen"
+	"manetskyline/internal/manet"
+)
+
+// simSeries is one line of Figures 8-11: a forwarding strategy combined
+// with a distance of interest. The filter configuration is fixed to the
+// paper's simulation choice (§5.2.2-II): under-estimated dominating regions
+// with dynamic updates.
+type simSeries struct {
+	strategy manet.Forwarding
+	distance float64
+}
+
+func (s simSeries) label() string {
+	return fmt.Sprintf("%v-%.0f", s.strategy, s.distance)
+}
+
+func simSeriesSet(distances []float64) []simSeries {
+	var out []simSeries
+	for _, st := range []manet.Forwarding{manet.DepthFirst, manet.BreadthFirst} {
+		for _, d := range distances {
+			out = append(out, simSeries{strategy: st, distance: d})
+		}
+	}
+	return out
+}
+
+// simPoint is one scenario run's aggregated metrics.
+type simPoint struct {
+	drr      float64
+	resp     float64
+	respOK   bool
+	messages float64
+	done     float64
+}
+
+// runSim executes one MANET scenario.
+func runSim(p params, n, dim, grid int, dist gen.Distribution, s simSeries) simPoint {
+	mp := manet.DefaultParams()
+	mp.Grid = grid
+	mp.GlobalN = n
+	mp.Dim = dim
+	mp.Dist = dist
+	mp.QueryDist = s.distance
+	mp.Mode = core.Under
+	mp.Dynamic = true
+	mp.Strategy = s.strategy
+	mp.SimTime = p.SimTime
+	mp.MinQueries = p.MinQueries
+	mp.MaxQueries = p.MaxQueries
+	mp.Seed = p.Seed
+
+	out := manet.Run(mp)
+	resp, ok := out.MeanResponseTime()
+	return simPoint{
+		drr:      out.PooledDRR(),
+		resp:     resp,
+		respOK:   ok,
+		messages: out.MeanMessages(),
+		done:     out.CompletionRate(),
+	}
+}
+
+// simSweep runs all series over one swept axis and returns a DRR table, a
+// response-time table, and a message-count table sharing the same rows.
+type simSweep struct {
+	drr, resp, msgs *Table
+}
+
+func newSimSweep(idSuffix, axisName, title string, series []simSeries, drrID, respID string) simSweep {
+	cols := []string{axisName}
+	for _, s := range series {
+		cols = append(cols, s.label())
+	}
+	mk := func(id, what string) *Table {
+		return &Table{ID: id, Title: what + title, Columns: append([]string(nil), cols...)}
+	}
+	return simSweep{
+		drr:  mk(drrID+idSuffix, "MANET DRR "),
+		resp: mk(respID+idSuffix, "MANET response time (s) "),
+		msgs: mk("msgs-"+drrID+idSuffix, "MANET mean messages/query "),
+	}
+}
+
+func (sw simSweep) addPoint(axis any, pts []simPoint) {
+	drrRow := []any{axis}
+	respRow := []any{axis}
+	msgRow := []any{axis}
+	for _, pt := range pts {
+		drrRow = append(drrRow, pt.drr)
+		if pt.respOK {
+			respRow = append(respRow, pt.resp)
+		} else {
+			respRow = append(respRow, "n/a")
+		}
+		msgRow = append(msgRow, pt.messages)
+	}
+	sw.drr.AddRow(drrRow...)
+	sw.resp.AddRow(respRow...)
+	sw.msgs.AddRow(msgRow...)
+}
+
+// simFigures runs the full MANET sweep for one attribute distribution and
+// returns the DRR tables (Figure 8 or 9), the response-time tables
+// (Figure 10 or 11), and the message-count table feeding Figure 12.
+func simFigures(sc Scale, dist gen.Distribution, drrID, respID string) (drr, resp []*Table, msgs *Table) {
+	p := sc.params()
+	series := simSeriesSet(p.Distances)
+
+	cards := newSimSweep("a", "tuples",
+		fmt.Sprintf("vs. cardinality (%v, %d×%d grid, 2 attrs)", dist, p.SimGrid, p.SimGrid),
+		series, drrID, respID)
+	for _, n := range p.SimCards {
+		var pts []simPoint
+		for _, s := range series {
+			pts = append(pts, runSim(p, n, 2, p.SimGrid, dist, s))
+		}
+		cards.addPoint(n, pts)
+	}
+
+	dims := newSimSweep("b", "attrs",
+		fmt.Sprintf("vs. dimensionality (%v, %d tuples, %d×%d grid)", dist, p.SimDimCard, p.SimGrid, p.SimGrid),
+		series, drrID, respID)
+	for _, dim := range p.SimDims {
+		var pts []simPoint
+		for _, s := range series {
+			pts = append(pts, runSim(p, p.SimDimCard, dim, p.SimGrid, dist, s))
+		}
+		dims.addPoint(dim, pts)
+	}
+
+	grids := newSimSweep("c", "devices",
+		fmt.Sprintf("vs. number of devices (%v, %d tuples, 2 attrs)", dist, p.SimCard),
+		series, drrID, respID)
+	msgs = &Table{
+		ID:      "fig12-" + dist.String(),
+		Title:   fmt.Sprintf("mean messages per query vs. number of devices (%v, %d tuples, 2 attrs)", dist, p.SimCard),
+		Columns: grids.msgs.Columns,
+	}
+	for _, g := range p.SimGrids {
+		var pts []simPoint
+		for _, s := range series {
+			pts = append(pts, runSim(p, p.SimCard, 2, g, dist, s))
+		}
+		grids.addPoint(g*g, pts)
+		row := []any{g * g}
+		for _, pt := range pts {
+			row = append(row, pt.messages)
+		}
+		msgs.AddRow(row...)
+	}
+
+	drr = []*Table{cards.drr, dims.drr, grids.drr}
+	resp = []*Table{cards.resp, dims.resp, grids.resp}
+	return drr, resp, msgs
+}
+
+// Fig8 reproduces Figure 8: DRR on independent datasets in the MANET
+// simulation (DF/BF forwarding × distances of interest).
+func Fig8(sc Scale) []*Table {
+	drr, _, _ := simFigures(sc, gen.Independent, "fig8", "fig10")
+	return drr
+}
+
+// Fig9 reproduces Figure 9: DRR on anti-correlated datasets.
+func Fig9(sc Scale) []*Table {
+	drr, _, _ := simFigures(sc, gen.AntiCorrelated, "fig9", "fig11")
+	return drr
+}
+
+// Fig10 reproduces Figure 10: response time on independent datasets.
+func Fig10(sc Scale) []*Table {
+	_, resp, _ := simFigures(sc, gen.Independent, "fig8", "fig10")
+	return resp
+}
+
+// Fig11 reproduces Figure 11: response time on anti-correlated datasets.
+func Fig11(sc Scale) []*Table {
+	_, resp, _ := simFigures(sc, gen.AntiCorrelated, "fig9", "fig11")
+	return resp
+}
+
+// Fig12 reproduces Figure 12: query message count versus device count
+// (BF vs. DF). The paper notes cardinality, dimensionality, and
+// distribution barely affect the count, so independent data suffices.
+func Fig12(sc Scale) []*Table {
+	p := sc.params()
+	series := simSeriesSet(p.Distances)
+	t := &Table{
+		ID:      "fig12",
+		Title:   fmt.Sprintf("mean messages per query vs. number of devices (IN, %d tuples, 2 attrs)", p.SimCard),
+		Columns: append([]string{"devices"}, seriesLabels(series)...),
+	}
+	for _, g := range p.SimGrids {
+		row := []any{g * g}
+		for _, s := range series {
+			pt := runSim(p, p.SimCard, 2, g, gen.Independent, s)
+			row = append(row, pt.messages)
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+func seriesLabels(series []simSeries) []string {
+	var out []string
+	for _, s := range series {
+		out = append(out, s.label())
+	}
+	return out
+}
+
+// SimAll runs both distributions' sweeps once and emits Figures 8-12
+// without duplicating simulation work.
+func SimAll(sc Scale) []*Table {
+	drrIN, respIN, msgsIN := simFigures(sc, gen.Independent, "fig8", "fig10")
+	drrAC, respAC, msgsAC := simFigures(sc, gen.AntiCorrelated, "fig9", "fig11")
+	var out []*Table
+	out = append(out, drrIN...)
+	out = append(out, drrAC...)
+	out = append(out, respIN...)
+	out = append(out, respAC...)
+	out = append(out, msgsIN, msgsAC)
+	return out
+}

@@ -1,0 +1,128 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§5) as text tables and optional CSV
+// files, at three scales — Small for CI and Go benchmarks, Default for a
+// laptop-scale full reproduction, and Paper for the original Table 6
+// parameter space.
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid whose first column is the
+// swept parameter and whose remaining columns are the series the paper
+// plots.
+type Table struct {
+	// ID names the artifact ("fig5a", "fig6b", ...).
+	ID string
+	// Title describes the table in the paper's terms.
+	Title string
+	// Columns holds the header row.
+	Columns []string
+	// Rows holds formatted cells; each row has len(Columns) entries.
+	Rows [][]string
+}
+
+// AddRow appends a row of cells, formatting floats with %g-style trimming.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	if len(row) != len(t.Columns) {
+		panic(fmt.Sprintf("bench: row has %d cells, table %s has %d columns", len(row), t.ID, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteTo renders the table with aligned columns.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	b.WriteByte('\n')
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// WriteCSV writes the table as <dir>/<id>.csv.
+func (t *Table) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Emit renders tables to w and, when csvDir is non-empty, to CSV files.
+func Emit(w io.Writer, csvDir string, tables ...*Table) error {
+	for _, t := range tables {
+		if _, err := t.WriteTo(w); err != nil {
+			return err
+		}
+		if csvDir != "" {
+			if err := t.WriteCSV(csvDir); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"manetskyline/internal/tuple"
+)
+
+// Merge performs the assembly step of §4.3 at the query originator (and, in
+// depth-first forwarding, at every device on the return path): it folds one
+// incoming reduced local skyline SK'_i into the current partial result.
+//
+// Both tasks of §4.3 happen in the nested loop: duplicate elimination —
+// tuples at the same (x, y) location are the same site, possibly received
+// from overlapping local relations — and removal of non-qualifying tuples in
+// either direction of dominance. The result is a correct skyline of the
+// union of the inputs whenever both inputs were skylines themselves; the
+// paper's assumption that no two distinct sites share a location makes the
+// (x, y) duplicate test sufficient.
+//
+// current is modified in place and must not be reused afterwards.
+func Merge(current, incoming []tuple.Tuple) []tuple.Tuple {
+nextIncoming:
+	for _, in := range incoming {
+		// Drop the incoming tuple if it is a duplicate of, or dominated by,
+		// anything already merged.
+		for _, cur := range current {
+			if in.SamePlace(cur) || cur.Dominates(in) {
+				continue nextIncoming
+			}
+		}
+		// It survives: evict everything it dominates, then add it.
+		keep := current[:0]
+		for _, cur := range current {
+			if !in.Dominates(cur) {
+				keep = append(keep, cur)
+			}
+		}
+		current = append(keep, in)
+	}
+	return current
+}
+
+// MergeAll folds many result sets into one skyline.
+func MergeAll(results ...[]tuple.Tuple) []tuple.Tuple {
+	var out []tuple.Tuple
+	for _, r := range results {
+		out = Merge(out, r)
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math/rand"
+
+	"manetskyline/internal/tuple"
+)
+
+// This file implements the paper's first future-work direction (§7):
+// "generalize the filtering idea, using more than one filtering tuple.
+// Important questions include how many, and which, tuples should be used as
+// filters, to achieve the best data reduction rate."
+//
+// A single max-VDR tuple covers one corner of the data space; tuples far
+// from it survive pruning even when other local-skyline tuples would have
+// removed them. SelectFilters therefore picks k tuples greedily by marginal
+// coverage: the union volume of the chosen dominating regions, estimated by
+// Monte Carlo sampling over the bounding box, which handles the
+// overlapping-hyper-rectangle union that has no cheap closed form.
+
+// SelectFilters picks up to k filtering tuples from a local skyline,
+// maximizing the (sampled) union volume of their dominating regions under
+// the upper bounds hi. The first pick is always the max-VDR tuple, so k=1
+// degenerates to SelectFilter. samples controls the Monte Carlo precision
+// (0 ⇒ 2048); seed makes the estimate deterministic.
+func SelectFilters(sky []tuple.Tuple, hi []float64, k, samples int, seed int64) []tuple.Tuple {
+	if k <= 0 || len(sky) == 0 {
+		return nil
+	}
+	if k > len(sky) {
+		k = len(sky)
+	}
+	if samples <= 0 {
+		samples = 2048
+	}
+	dim := len(hi)
+
+	// Sample points uniformly in [min attr seen, hi]^dim — the region where
+	// candidate dominating regions live.
+	lo := make([]float64, dim)
+	copy(lo, sky[0].Attrs)
+	for _, t := range sky {
+		for j, v := range t.Attrs {
+			if v < lo[j] {
+				lo[j] = v
+			}
+		}
+	}
+	r := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, samples)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = lo[j] + r.Float64()*(hi[j]-lo[j])
+		}
+		pts[i] = p
+	}
+
+	covered := make([]bool, samples)
+	chosen := make([]tuple.Tuple, 0, k)
+	used := make([]bool, len(sky))
+
+	// First pick: exact max-VDR for parity with the single-filter scheme.
+	first, _ := SelectFilter(sky, func(t tuple.Tuple) float64 { return VDR(t, hi) })
+	for i := range sky {
+		if sky[i].Equal(*first) {
+			used[i] = true
+			break
+		}
+	}
+	chosen = append(chosen, *first)
+	markCovered(covered, pts, *first)
+
+	for len(chosen) < k {
+		bestGain := 0
+		bestIdx := -1
+		for i := range sky {
+			if used[i] {
+				continue
+			}
+			gain := 0
+			for s, p := range pts {
+				if !covered[s] && inDominatingRegion(sky[i], p) {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestGain = gain
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			break // no remaining tuple adds coverage
+		}
+		used[bestIdx] = true
+		chosen = append(chosen, sky[bestIdx].Clone())
+		markCovered(covered, pts, sky[bestIdx])
+	}
+	return chosen
+}
+
+func markCovered(covered []bool, pts [][]float64, t tuple.Tuple) {
+	for s, p := range pts {
+		if !covered[s] && inDominatingRegion(t, p) {
+			covered[s] = true
+		}
+	}
+}
+
+// inDominatingRegion reports whether point p lies strictly inside t's
+// dominating region (t better on every coordinate).
+func inDominatingRegion(t tuple.Tuple, p []float64) bool {
+	for j, v := range t.Attrs {
+		if v >= p[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyFilters prunes a reduced local skyline with a set of filtering
+// tuples: a tuple is dropped when any filter strictly dominates it. The
+// same safety argument as for a single filter applies — every filter is a
+// real in-range site, so anything it dominates cannot be in the final
+// skyline.
+func ApplyFilters(sky []tuple.Tuple, filters []tuple.Tuple) []tuple.Tuple {
+	if len(filters) == 0 {
+		return sky
+	}
+	out := sky[:0]
+next:
+	for _, t := range sky {
+		for _, f := range filters {
+			if f.Dominates(t) {
+				continue next
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// MultiFilterReduction evaluates, for analysis and the ablation bench, how
+// many tuples of each unreduced local skyline a k-filter set removes. It
+// returns Formula 1's sums with the per-device cost set to k transmitted
+// filter tuples instead of 1.
+func MultiFilterReduction(localSkylines [][]tuple.Tuple, filters []tuple.Tuple) DRRAccumulator {
+	var acc DRRAccumulator
+	for _, sk := range localSkylines {
+		reduced := ApplyFilters(append([]tuple.Tuple(nil), sk...), filters)
+		acc.Reduced += len(reduced)
+		acc.Unreduced += len(sk)
+		acc.Devices += len(filters) // k tuples shipped per device
+	}
+	return acc
+}

@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"manetskyline/internal/tuple"
+)
+
+// Binary dataset format, for moving the paper-scale relations (100K-1M
+// tuples) around faster and smaller than CSV:
+//
+//	magic "MSKY" version:uint8 dim:uint16 count:uint64
+//	then count × (x:float64 y:float64 attrs:float64^dim), little-endian.
+const (
+	binMagic   = "MSKY"
+	binVersion = 1
+)
+
+// maxBinCount bounds declared cardinality on read (corrupt-header guard).
+const maxBinCount = 1 << 30
+
+// WriteBin writes tuples in the binary dataset format. All tuples must
+// share one dimensionality.
+func WriteBin(w io.Writer, ts []tuple.Tuple) error {
+	bw := bufio.NewWriter(w)
+	dim := 0
+	if len(ts) > 0 {
+		dim = ts[0].Dim()
+	}
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binVersion); err != nil {
+		return err
+	}
+	var hdr [10]byte
+	binary.LittleEndian.PutUint16(hdr[0:], uint16(dim))
+	binary.LittleEndian.PutUint64(hdr[2:], uint64(len(ts)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	writeF := func(v float64) error {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	for i, t := range ts {
+		if t.Dim() != dim {
+			return fmt.Errorf("gen: tuple %d has %d attributes, want %d", i, t.Dim(), dim)
+		}
+		if err := writeF(t.X); err != nil {
+			return err
+		}
+		if err := writeF(t.Y); err != nil {
+			return err
+		}
+		for _, v := range t.Attrs {
+			if err := writeF(v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBin parses a dataset written by WriteBin.
+func ReadBin(r io.Reader) ([]tuple.Tuple, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4+1+10)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("gen: bad binary header: %w", err)
+	}
+	if string(head[:4]) != binMagic {
+		return nil, fmt.Errorf("gen: bad magic %q", head[:4])
+	}
+	if head[4] != binVersion {
+		return nil, fmt.Errorf("gen: unsupported version %d", head[4])
+	}
+	dim := int(binary.LittleEndian.Uint16(head[5:]))
+	count := binary.LittleEndian.Uint64(head[7:])
+	if count > maxBinCount {
+		return nil, fmt.Errorf("gen: header claims %d tuples", count)
+	}
+	row := make([]byte, (2+dim)*8)
+	out := make([]tuple.Tuple, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, row); err != nil {
+			return nil, fmt.Errorf("gen: truncated at tuple %d: %w", i, err)
+		}
+		t := tuple.Tuple{
+			X:     math.Float64frombits(binary.LittleEndian.Uint64(row)),
+			Y:     math.Float64frombits(binary.LittleEndian.Uint64(row[8:])),
+			Attrs: make([]float64, dim),
+		}
+		for j := 0; j < dim; j++ {
+			t.Attrs[j] = math.Float64frombits(binary.LittleEndian.Uint64(row[16+8*j:]))
+		}
+		out = append(out, t)
+	}
+	// Trailing bytes indicate corruption or a concatenated stream misuse.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("gen: trailing bytes after %d tuples", count)
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}

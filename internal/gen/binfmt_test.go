@@ -1,0 +1,93 @@
+package gen
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"manetskyline/internal/tuple"
+)
+
+func TestBinRoundTrip(t *testing.T) {
+	ts := Generate(DefaultConfig(1000, 4, AntiCorrelated, 3))
+	var buf bytes.Buffer
+	if err := WriteBin(&buf, ts); err != nil {
+		t.Fatalf("WriteBin: %v", err)
+	}
+	back, err := ReadBin(&buf)
+	if err != nil {
+		t.Fatalf("ReadBin: %v", err)
+	}
+	if !reflect.DeepEqual(ts, back) {
+		t.Fatalf("binary round trip altered data")
+	}
+}
+
+func TestBinEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBin(&buf, nil); err != nil {
+		t.Fatalf("WriteBin(nil): %v", err)
+	}
+	back, err := ReadBin(&buf)
+	if err != nil || len(back) != 0 {
+		t.Fatalf("empty round trip: %v %v", back, err)
+	}
+}
+
+func TestBinSmallerThanCSV(t *testing.T) {
+	ts := Generate(DefaultConfig(5000, 3, Independent, 7))
+	var bin, csv bytes.Buffer
+	if err := WriteBin(&bin, ts); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&csv, ts); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= csv.Len() {
+		t.Errorf("binary (%d) should be smaller than CSV (%d)", bin.Len(), csv.Len())
+	}
+}
+
+func TestBinRejectsCorruption(t *testing.T) {
+	ts := Generate(DefaultConfig(10, 2, Independent, 1))
+	var buf bytes.Buffer
+	if err := WriteBin(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	for n := 0; n < len(good); n += 7 {
+		if _, err := ReadBin(bytes.NewReader(good[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	bad := append(append([]byte{}, good...), 0)
+	if _, err := ReadBin(bytes.NewReader(bad)); err == nil {
+		t.Errorf("trailing byte accepted")
+	}
+	wrongMagic := append([]byte{}, good...)
+	wrongMagic[0] = 'X'
+	if _, err := ReadBin(bytes.NewReader(wrongMagic)); err == nil {
+		t.Errorf("wrong magic accepted")
+	}
+	wrongVer := append([]byte{}, good...)
+	wrongVer[4] = 99
+	if _, err := ReadBin(bytes.NewReader(wrongVer)); err == nil {
+		t.Errorf("wrong version accepted")
+	}
+	hostile := append([]byte{}, good[:15]...)
+	for i := 7; i < 15; i++ {
+		hostile[i] = 0xFF
+	}
+	if _, err := ReadBin(bytes.NewReader(hostile)); err == nil {
+		t.Errorf("hostile count accepted")
+	}
+}
+
+func TestBinMixedDimRejected(t *testing.T) {
+	var buf bytes.Buffer
+	bad := []tuple.Tuple{{Attrs: []float64{1, 2}}, {Attrs: []float64{1}}}
+	if err := WriteBin(&buf, bad); err == nil {
+		t.Errorf("mixed dimensionality should be rejected")
+	}
+}

@@ -1,0 +1,85 @@
+package gen
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"manetskyline/internal/tuple"
+)
+
+// WriteCSV writes tuples as CSV rows "x,y,p1,...,pn" with a header line.
+func WriteCSV(w io.Writer, ts []tuple.Tuple) error {
+	cw := csv.NewWriter(w)
+	if len(ts) == 0 {
+		cw.Flush()
+		return cw.Error()
+	}
+	header := []string{"x", "y"}
+	for i := 0; i < ts[0].Dim(); i++ {
+		header = append(header, fmt.Sprintf("p%d", i+1))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, t := range ts {
+		if t.Dim() != ts[0].Dim() {
+			return fmt.Errorf("gen: mixed dimensionality %d vs %d", t.Dim(), ts[0].Dim())
+		}
+		row[0] = strconv.FormatFloat(t.X, 'g', -1, 64)
+		row[1] = strconv.FormatFloat(t.Y, 'g', -1, 64)
+		for i, v := range t.Attrs {
+			row[2+i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses tuples written by WriteCSV. The first line must be a
+// header; its width fixes the dimensionality.
+func ReadCSV(r io.Reader) ([]tuple.Tuple, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(header) < 2 || header[0] != "x" || header[1] != "y" {
+		return nil, fmt.Errorf("gen: malformed CSV header %v", header)
+	}
+	dim := len(header) - 2
+	var out []tuple.Tuple
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(rec) != dim+2 {
+			return nil, fmt.Errorf("gen: line %d has %d fields, want %d", line, len(rec), dim+2)
+		}
+		t := tuple.Tuple{Attrs: make([]float64, dim)}
+		if t.X, err = strconv.ParseFloat(rec[0], 64); err != nil {
+			return nil, fmt.Errorf("gen: line %d x: %v", line, err)
+		}
+		if t.Y, err = strconv.ParseFloat(rec[1], 64); err != nil {
+			return nil, fmt.Errorf("gen: line %d y: %v", line, err)
+		}
+		for i := 0; i < dim; i++ {
+			if t.Attrs[i], err = strconv.ParseFloat(rec[2+i], 64); err != nil {
+				return nil, fmt.Errorf("gen: line %d p%d: %v", line, i+1, err)
+			}
+		}
+		out = append(out, t)
+	}
+}

@@ -1,0 +1,36 @@
+package gen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV: arbitrary input must never panic, and everything the parser
+// accepts must survive a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteCSV(&seed, Generate(DefaultConfig(5, 3, Independent, 1)))
+	f.Add(seed.String())
+	f.Add("x,y,p1\n1,2,3\n")
+	f.Add("x,y\n")
+	f.Add("")
+	f.Add("x,y,p1\n1,2\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		ts, err := ReadCSV(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, ts); err != nil {
+			t.Fatalf("accepted data failed to re-encode: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded data failed to parse: %v", err)
+		}
+		if len(back) != len(ts) {
+			t.Fatalf("round trip changed cardinality: %d vs %d", len(back), len(ts))
+		}
+	})
+}

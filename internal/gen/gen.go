@@ -1,0 +1,307 @@
+// Package gen produces the synthetic workloads of the paper's evaluation:
+// tuples with uniformly distributed spatial positions in a square domain and
+// non-spatial attributes drawn from the standard skyline-benchmark
+// distributions (independent, correlated, anti-correlated) introduced by
+// Börzsönyi et al., plus the uniform-grid partitioner that splits a global
+// relation into the per-device local relations of §5.2.1.
+//
+// All generation is deterministic for a given seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"manetskyline/internal/tuple"
+)
+
+// Distribution selects how non-spatial attribute vectors are drawn.
+type Distribution int
+
+const (
+	// Independent draws every attribute uniformly and independently; the
+	// paper's "IN" datasets.
+	Independent Distribution = iota
+	// AntiCorrelated draws vectors near the hyperplane Σp_i ≈ const so that
+	// a tuple good in one dimension tends to be bad in the others; the
+	// paper's "AC" datasets. Skylines are large under this distribution.
+	AntiCorrelated
+	// Correlated draws vectors clustered around the main diagonal, producing
+	// very small skylines. The paper does not evaluate on correlated data;
+	// it is included for completeness of the generator substrate.
+	Correlated
+)
+
+// String names the distribution the way the paper's figures do.
+func (d Distribution) String() string {
+	switch d {
+	case Independent:
+		return "IN"
+	case AntiCorrelated:
+		return "AC"
+	case Correlated:
+		return "CO"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// Config describes one synthetic global relation.
+type Config struct {
+	// N is the number of tuples in the global relation.
+	N int
+	// Dim is the number of non-spatial attributes (the paper uses 2-5).
+	Dim int
+	// Dist selects the attribute distribution.
+	Dist Distribution
+	// Space is the spatial extent; positions are uniform in
+	// [0,Space]×[0,Space]. The paper uses 1000×1000.
+	Space float64
+	// AttrMin and AttrMax bound every attribute value. The paper uses
+	// [0, 1000] integers in the simulation and the domain {0.0..9.9} on the
+	// handheld tests.
+	AttrMin, AttrMax float64
+	// Distinct, when > 0, quantizes each attribute to that many equally
+	// spaced distinct values across [AttrMin, AttrMax]. The paper's
+	// handheld datasets use 100 distinct values so a byte ID suffices.
+	Distinct int
+	// Seed makes the dataset reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns the simulation-experiment defaults from Table 6:
+// integer-quantized attributes in [1,1000] over a 1000×1000 space.
+func DefaultConfig(n, dim int, dist Distribution, seed int64) Config {
+	return Config{
+		N: n, Dim: dim, Dist: dist,
+		Space:   1000,
+		AttrMin: 1, AttrMax: 1000,
+		Distinct: 1000,
+		Seed:     seed,
+	}
+}
+
+// HandheldConfig returns the local-optimization-experiment defaults of §5.1:
+// attributes on the 100-value grid {0.0, 0.1, ..., 9.9}.
+func HandheldConfig(n, dim int, dist Distribution, seed int64) Config {
+	return Config{
+		N: n, Dim: dim, Dist: dist,
+		Space:   1000,
+		AttrMin: 0, AttrMax: 9.9,
+		Distinct: 100,
+		Seed:     seed,
+	}
+}
+
+// Schema returns the tuple schema matching the configuration, with exact
+// global bounds — what a device with full domain knowledge would use for
+// exact VDR computation.
+func (c Config) Schema() tuple.Schema {
+	return tuple.NewSchema(c.Dim, c.AttrMin, c.AttrMax)
+}
+
+// Generate materializes the global relation described by c.
+func Generate(c Config) []tuple.Tuple {
+	if c.N < 0 {
+		panic(fmt.Sprintf("gen: negative cardinality %d", c.N))
+	}
+	if c.Dim <= 0 {
+		panic(fmt.Sprintf("gen: non-positive dimensionality %d", c.Dim))
+	}
+	if c.AttrMax < c.AttrMin {
+		panic(fmt.Sprintf("gen: attribute range [%g,%g] is inverted", c.AttrMin, c.AttrMax))
+	}
+	r := rand.New(rand.NewSource(c.Seed))
+	out := make([]tuple.Tuple, c.N)
+	for i := range out {
+		out[i] = tuple.Tuple{
+			X:     r.Float64() * c.Space,
+			Y:     r.Float64() * c.Space,
+			Attrs: attrVector(r, c),
+		}
+	}
+	return out
+}
+
+// attrVector draws one attribute vector in [0,1]^dim according to the
+// distribution and then maps it onto [AttrMin, AttrMax] with optional
+// quantization.
+func attrVector(r *rand.Rand, c Config) []float64 {
+	v := make([]float64, c.Dim)
+	switch c.Dist {
+	case Independent:
+		for i := range v {
+			v[i] = r.Float64()
+		}
+	case AntiCorrelated:
+		antiCorrelated(r, v)
+	case Correlated:
+		correlated(r, v)
+	default:
+		panic(fmt.Sprintf("gen: unknown distribution %d", int(c.Dist)))
+	}
+	for i := range v {
+		v[i] = c.AttrMin + v[i]*(c.AttrMax-c.AttrMin)
+		if c.Distinct > 1 {
+			step := (c.AttrMax - c.AttrMin) / float64(c.Distinct-1)
+			k := math.Round((v[i] - c.AttrMin) / step)
+			v[i] = c.AttrMin + k*step
+		} else if c.Distinct == 1 {
+			v[i] = c.AttrMin
+		}
+	}
+	return v
+}
+
+// antiPlaneSD controls how tightly anti-correlated points concentrate around
+// the Σv_i = dim/2 plane. A thin band keeps points mutually incomparable
+// (large skylines); a thick band lets low-sum points dominate the rest.
+const antiPlaneSD = 0.02
+
+// truncNorm draws from N(mu, sd) truncated to [0,1].
+func truncNorm(r *rand.Rand, mu, sd float64) float64 {
+	for {
+		v := mu + r.NormFloat64()*sd
+		if v >= 0 && v <= 1 {
+			return v
+		}
+	}
+}
+
+// antiCorrelated fills v following the classic Börzsönyi generator: pick a
+// plane offset from a truncated normal centred at 0.5, start every
+// coordinate at that offset, then apply random pairwise transfers between
+// adjacent dimensions. The transfers keep the coordinate sum constant, so
+// every point lies on a plane Σv_i = dim·offset — a point good in one
+// dimension is correspondingly bad in another, which is what makes skylines
+// large under this distribution.
+func antiCorrelated(r *rand.Rand, v []float64) {
+	dim := len(v)
+retry:
+	for attempt := 0; ; attempt++ {
+		plane := truncNorm(r, 0.5, antiPlaneSD)
+		l := plane
+		if l > 0.5 {
+			l = 1 - plane
+		}
+		for i := range v {
+			v[i] = plane
+		}
+		for i := 0; i < dim-1; i++ {
+			h := (r.Float64()*2 - 1) * l
+			v[i] += h
+			v[i+1] -= h
+		}
+		// Transfers on 3+ dimensions can push a middle coordinate outside
+		// [0,1]; redraw in that case (clamping would distort the plane).
+		for _, x := range v {
+			if x < 0 || x > 1 {
+				if attempt < 64 {
+					continue retry
+				}
+				for i := range v {
+					v[i] = clamp01(v[i])
+				}
+				return
+			}
+		}
+		return
+	}
+}
+
+// correlated fills v with positively correlated coordinates: a common level
+// drawn from a truncated normal plus a small per-coordinate jitter. Points
+// hug the main diagonal, so a handful of low-level points dominate nearly
+// everything and skylines are tiny.
+func correlated(r *rand.Rand, v []float64) {
+	level := truncNorm(r, 0.5, 0.25)
+	l := level
+	if l > 0.5 {
+		l = 1 - level
+	}
+	for i := range v {
+		v[i] = clamp01(level + r.NormFloat64()*l/6)
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// GridPartition splits a global relation into g×g local relations by a
+// uniform grid over [0,space]×[0,space], exactly as §5.2.1 assigns each
+// device the tuples of one grid cell. Cell (row r, column c) is element
+// r*g+c of the result. Every tuple lands in exactly one cell; points on the
+// top or right boundary belong to the last cell in that direction.
+func GridPartition(ts []tuple.Tuple, g int, space float64) [][]tuple.Tuple {
+	if g <= 0 {
+		panic(fmt.Sprintf("gen: non-positive grid size %d", g))
+	}
+	cells := make([][]tuple.Tuple, g*g)
+	cw := space / float64(g)
+	for _, t := range ts {
+		col := cellIndex(t.X, cw, g)
+		row := cellIndex(t.Y, cw, g)
+		idx := row*g + col
+		cells[idx] = append(cells[idx], t)
+	}
+	return cells
+}
+
+// CellRect returns the rectangle of grid cell (row, col) in a g×g grid over
+// [0,space]².
+func CellRect(row, col, g int, space float64) tuple.Rect {
+	cw := space / float64(g)
+	return tuple.Rect{
+		MinX: float64(col) * cw, MaxX: float64(col+1) * cw,
+		MinY: float64(row) * cw, MaxY: float64(row+1) * cw,
+	}
+}
+
+func cellIndex(v, cw float64, g int) int {
+	i := int(v / cw)
+	if i >= g {
+		i = g - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// OverlapPartition is GridPartition with duplication: each tuple is also
+// copied into neighbouring cells with the given probability, modelling the
+// paper's observation that local relations on different devices may overlap
+// (R_i ∩ R_j ≠ ∅), which forces duplicate elimination during assembly.
+func OverlapPartition(ts []tuple.Tuple, g int, space float64, overlap float64, seed int64) [][]tuple.Tuple {
+	cells := GridPartition(ts, g, space)
+	if overlap <= 0 {
+		return cells
+	}
+	r := rand.New(rand.NewSource(seed))
+	cw := space / float64(g)
+	for _, t := range ts {
+		if r.Float64() >= overlap {
+			continue
+		}
+		col := cellIndex(t.X, cw, g)
+		row := cellIndex(t.Y, cw, g)
+		// Copy into one random 4-neighbour cell that exists.
+		dirs := [][2]int{{0, 1}, {0, -1}, {1, 0}, {-1, 0}}
+		d := dirs[r.Intn(len(dirs))]
+		nr, nc := row+d[0], col+d[1]
+		if nr < 0 || nr >= g || nc < 0 || nc >= g {
+			continue
+		}
+		idx := nr*g + nc
+		cells[idx] = append(cells[idx], t)
+	}
+	return cells
+}

@@ -1,0 +1,260 @@
+package gen
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"manetskyline/internal/tuple"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	c := DefaultConfig(500, 3, Independent, 99)
+	a, b := Generate(c), Generate(c)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed should reproduce the same dataset")
+	}
+	c2 := c
+	c2.Seed = 100
+	if reflect.DeepEqual(a, Generate(c2)) {
+		t.Fatalf("different seeds should differ")
+	}
+}
+
+func TestGenerateBoundsAndShape(t *testing.T) {
+	for _, dist := range []Distribution{Independent, AntiCorrelated, Correlated} {
+		c := DefaultConfig(2000, 4, dist, 5)
+		ts := Generate(c)
+		if len(ts) != c.N {
+			t.Fatalf("%v: got %d tuples, want %d", dist, len(ts), c.N)
+		}
+		for _, tp := range ts {
+			if tp.X < 0 || tp.X > c.Space || tp.Y < 0 || tp.Y > c.Space {
+				t.Fatalf("%v: position %v outside spatial domain", dist, tp.Pos())
+			}
+			if tp.Dim() != c.Dim {
+				t.Fatalf("%v: dimensionality %d, want %d", dist, tp.Dim(), c.Dim)
+			}
+			for i, v := range tp.Attrs {
+				if v < c.AttrMin-1e-9 || v > c.AttrMax+1e-9 {
+					t.Fatalf("%v: attr %d value %v outside [%v,%v]", dist, i, v, c.AttrMin, c.AttrMax)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateQuantization(t *testing.T) {
+	c := HandheldConfig(1000, 2, Independent, 1)
+	ts := Generate(c)
+	distinct := map[float64]bool{}
+	for _, tp := range ts {
+		for _, v := range tp.Attrs {
+			// Every value must be a multiple of 0.1 within rounding error.
+			k := v / 0.1
+			if math.Abs(k-math.Round(k)) > 1e-9 {
+				t.Fatalf("value %v is not on the 0.1 grid", v)
+			}
+			distinct[math.Round(k)] = true
+		}
+	}
+	if len(distinct) > c.Distinct {
+		t.Fatalf("got %d distinct values, want at most %d", len(distinct), c.Distinct)
+	}
+	// With 2000 draws over 100 values, expect to see most of the domain.
+	if len(distinct) < 90 {
+		t.Fatalf("only %d distinct values seen; generator looks degenerate", len(distinct))
+	}
+}
+
+// Anti-correlated data must produce much larger skylines than independent
+// data at the same cardinality — the defining property that the paper's AC
+// experiments rely on.
+func TestAntiCorrelatedIsAntiCorrelated(t *testing.T) {
+	n, dim := 5000, 2
+	in := Generate(DefaultConfig(n, dim, Independent, 7))
+	ac := Generate(DefaultConfig(n, dim, AntiCorrelated, 7))
+	co := Generate(DefaultConfig(n, dim, Correlated, 7))
+	skySize := func(ts []tuple.Tuple) int {
+		var sky []tuple.Tuple
+	next:
+		for _, cand := range ts {
+			for _, s := range sky {
+				if s.Dominates(cand) {
+					continue next
+				}
+			}
+			keep := sky[:0]
+			for _, s := range sky {
+				if !cand.Dominates(s) {
+					keep = append(keep, s)
+				}
+			}
+			sky = append(keep, cand)
+		}
+		return len(sky)
+	}
+	sIN, sAC, sCO := skySize(in), skySize(ac), skySize(co)
+	t.Logf("skyline sizes: IN=%d AC=%d CO=%d", sIN, sAC, sCO)
+	if sAC <= 2*sIN {
+		t.Errorf("anti-correlated skyline (%d) should far exceed independent (%d)", sAC, sIN)
+	}
+	if sCO > sIN {
+		t.Errorf("correlated skyline (%d) should not exceed independent (%d)", sCO, sIN)
+	}
+}
+
+func TestAntiCorrelatedSumConcentration(t *testing.T) {
+	c := DefaultConfig(3000, 3, AntiCorrelated, 21)
+	c.Distinct = 0 // raw values
+	ts := Generate(c)
+	span := c.AttrMax - c.AttrMin
+	var mean, m2 float64
+	for i, tp := range ts {
+		sum := 0.0
+		for _, v := range tp.Attrs {
+			sum += (v - c.AttrMin) / span
+		}
+		sum /= float64(c.Dim) // normalized mean coordinate
+		delta := sum - mean
+		mean += delta / float64(i+1)
+		m2 += delta * (sum - mean)
+	}
+	sd := math.Sqrt(m2 / float64(len(ts)))
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Errorf("normalized AC coordinate mean %v, want ≈0.5", mean)
+	}
+	// Vector means concentrate near the plane: spread well below uniform's
+	// per-axis sd (0.29/√3 ≈ 0.17 for the mean of 3 independents).
+	if sd > 0.15 {
+		t.Errorf("AC plane spread sd=%v, want < 0.15", sd)
+	}
+}
+
+func TestGridPartition(t *testing.T) {
+	c := DefaultConfig(3000, 2, Independent, 13)
+	ts := Generate(c)
+	g := 5
+	cells := GridPartition(ts, g, c.Space)
+	if len(cells) != g*g {
+		t.Fatalf("got %d cells, want %d", len(cells), g*g)
+	}
+	total := 0
+	for i, cell := range cells {
+		row, col := i/g, i%g
+		rect := CellRect(row, col, g, c.Space)
+		for _, tp := range cell {
+			if !rect.Contains(tp.Pos()) {
+				t.Fatalf("tuple %v assigned to cell (%d,%d) with rect %+v", tp.Pos(), row, col, rect)
+			}
+		}
+		total += len(cell)
+	}
+	if total != len(ts) {
+		t.Fatalf("partition lost tuples: %d vs %d", total, len(ts))
+	}
+}
+
+func TestGridPartitionBoundaries(t *testing.T) {
+	ts := []tuple.Tuple{
+		{X: 0, Y: 0, Attrs: []float64{1}},
+		{X: 1000, Y: 1000, Attrs: []float64{1}}, // top-right corner
+		{X: 500, Y: 500, Attrs: []float64{1}},   // interior cell boundary
+	}
+	cells := GridPartition(ts, 2, 1000)
+	if len(cells[0]) != 1 {
+		t.Errorf("origin should land in cell 0")
+	}
+	if len(cells[3]) != 2 {
+		t.Errorf("corner and midpoint should land in last cell, got %d", len(cells[3]))
+	}
+}
+
+func TestOverlapPartition(t *testing.T) {
+	c := DefaultConfig(5000, 2, Independent, 17)
+	ts := Generate(c)
+	cells := OverlapPartition(ts, 4, c.Space, 0.3, 99)
+	total := 0
+	for _, cell := range cells {
+		total += len(cell)
+	}
+	if total <= len(ts) {
+		t.Errorf("overlap partition should duplicate some tuples: %d vs %d", total, len(ts))
+	}
+	if total > 2*len(ts) {
+		t.Errorf("overlap partition duplicated too much: %d vs %d", total, len(ts))
+	}
+	// Zero overlap must be identical to plain partitioning.
+	a := GridPartition(ts, 4, c.Space)
+	b := OverlapPartition(ts, 4, c.Space, 0, 99)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("zero-overlap partition should equal grid partition")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ts := Generate(DefaultConfig(200, 3, AntiCorrelated, 31))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ts); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if !reflect.DeepEqual(ts, back) {
+		t.Fatalf("CSV round trip altered data")
+	}
+}
+
+func TestCSVEmptyAndMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatalf("WriteCSV(nil): %v", err)
+	}
+	if ts, err := ReadCSV(&buf); err != nil || len(ts) != 0 {
+		t.Fatalf("empty round trip: %v %v", ts, err)
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("a,b\n1,2\n")); err == nil {
+		t.Errorf("bad header should be rejected")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("x,y,p1\n1,2,notanumber\n")); err == nil {
+		t.Errorf("non-numeric field should be rejected")
+	}
+}
+
+func TestSchemaMatchesConfig(t *testing.T) {
+	c := DefaultConfig(10, 4, Independent, 1)
+	s := c.Schema()
+	if s.Dim() != 4 || s.Min[0] != c.AttrMin || s.Max[3] != c.AttrMax {
+		t.Errorf("schema %+v does not match config", s)
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Independent.String() != "IN" || AntiCorrelated.String() != "AC" || Correlated.String() != "CO" {
+		t.Errorf("unexpected distribution names")
+	}
+	if Distribution(99).String() == "" {
+		t.Errorf("unknown distribution should still render")
+	}
+}
+
+func TestGeneratePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative N", func() { Generate(Config{N: -1, Dim: 2, AttrMax: 1}) })
+	mustPanic("zero dim", func() { Generate(Config{N: 1, Dim: 0, AttrMax: 1}) })
+	mustPanic("inverted range", func() { Generate(Config{N: 1, Dim: 1, AttrMin: 2, AttrMax: 1}) })
+	mustPanic("bad distribution", func() {
+		Generate(Config{N: 1, Dim: 1, AttrMax: 1, Dist: Distribution(42)})
+	})
+	mustPanic("bad grid", func() { GridPartition(nil, 0, 100) })
+}

@@ -1,0 +1,350 @@
+// Package localsky implements local skyline query processing on a single
+// mobile device: the paper's Figure 4 algorithm over hybrid storage
+// (ID-based sort-filter-skyline with spatial range checking, MBR and
+// filter-dominance pre-checks, filter application, and dynamic filter
+// pick-up) and a block-nested-loop evaluator over any storage model as the
+// flat-storage baseline of §5.1.
+//
+// Both evaluators record work counters so the MANET simulator can convert
+// local processing into simulated time on a 200 MHz-class device
+// (internal/device) the same way the paper added estimated local costs to
+// simulated communication delays (§5.2.3).
+package localsky
+
+import (
+	"math"
+
+	"manetskyline/internal/storage"
+	"manetskyline/internal/tuple"
+)
+
+// Query is the device-local view of Q_ds: the originator position and the
+// distance of interest. A non-positive or infinite D disables the spatial
+// constraint, which is how the static pre-tests of §5.2.2-I run.
+type Query struct {
+	Pos tuple.Point
+	D   float64
+	// SpatialIndex enables the hybrid relation's spatial bucket grid for
+	// the range predicate — an optimization beyond the paper's Figure 4,
+	// which distance-checks every tuple sequentially. Off by default for
+	// fidelity; the `spatialindex` ablation quantifies it.
+	SpatialIndex bool
+}
+
+// unconstrained reports whether the query has no effective spatial bound.
+func (q Query) unconstrained() bool {
+	return q.D <= 0 || math.IsInf(q.D, 1)
+}
+
+// inRange applies the spatial predicate.
+func (q Query) inRange(p tuple.Point) bool {
+	return q.unconstrained() || q.Pos.WithinDist(p, q.D)
+}
+
+// VDRFunc scores a tuple's pruning potential: the volume of its dominating
+// region under whichever estimation mode the caller selected (§3.2-3.3).
+// A nil VDRFunc disables dynamic filter pick-up.
+type VDRFunc func(tuple.Tuple) float64
+
+// Stats counts the work one local evaluation performed; the device cost
+// model turns these into simulated seconds.
+type Stats struct {
+	// Scanned is the number of tuples visited by the scan.
+	Scanned int
+	// InRange is the number of tuples that passed the spatial predicate.
+	InRange int
+	// IDCmp is the number of integer ID comparisons (hybrid evaluator).
+	IDCmp int
+	// ValCmp is the number of raw attribute-value comparisons.
+	ValCmp int
+	// DistChecks is the number of spatial distance evaluations.
+	DistChecks int
+	// SkippedMBR is set when the MBR pre-check rejected the whole relation.
+	SkippedMBR bool
+	// SkippedFilter is set when the filter-dominates-relation pre-check
+	// rejected the whole relation in O(n) attribute comparisons.
+	SkippedFilter bool
+}
+
+// Add accumulates counters.
+func (s *Stats) Add(o Stats) {
+	s.Scanned += o.Scanned
+	s.InRange += o.InRange
+	s.IDCmp += o.IDCmp
+	s.ValCmp += o.ValCmp
+	s.DistChecks += o.DistChecks
+	s.SkippedMBR = s.SkippedMBR || o.SkippedMBR
+	s.SkippedFilter = s.SkippedFilter || o.SkippedFilter
+}
+
+// Result is the outcome of one local skyline evaluation.
+type Result struct {
+	// Skyline is SK'_i: the local skyline after filter pruning, the tuples
+	// that would be transmitted back toward the originator.
+	Skyline []tuple.Tuple
+	// Unreduced is |SK_i|: the local skyline size before filter pruning;
+	// the denominator contribution of the data reduction rate (Formula 1).
+	Unreduced int
+	// Filter is the filtering tuple to forward: the input filter, or a
+	// local tuple with a strictly larger VDR when dynamic pick-up found one.
+	Filter *tuple.Tuple
+	// FilterVDR is the VDR score of Filter (0 when Filter is nil).
+	FilterVDR float64
+	// Stats holds the work counters.
+	Stats Stats
+}
+
+// HybridSkyline runs the paper's Figure 4 algorithm against hybrid storage.
+//
+// Deviations from the figure's pseudo-code, both required for correctness:
+//
+//   - The whole-relation skip fires only when the filter strictly improves
+//     on some attribute's local minimum l_j (all flt_j ≤ l_j and one
+//     strict). The figure skips on all flt_j ≤ l_j alone, which would drop
+//     a local site whose attribute vector exactly equals the filter's —
+//     such a site is a legitimate member of the final skyline.
+//   - Dominance during the scan and filter pruning use the standard
+//     definition (no worse everywhere, better somewhere) rather than the
+//     figure's all-strictly-better test, which under integer domains both
+//     misses prunable tuples and, in the scan, would admit dominated ones.
+//
+// The filter tuple must satisfy the query's spatial constraint (it is always
+// drawn from some device's constrained local skyline), which is what makes
+// pruning with it safe.
+func HybridSkyline(rel *storage.Hybrid, q Query, flt *tuple.Tuple, vdr VDRFunc) Result {
+	res := Result{Filter: flt}
+	if flt != nil && vdr != nil {
+		res.FilterVDR = vdr(*flt)
+	}
+
+	// MBR pre-check: the device's data is entirely out of range.
+	if !q.unconstrained() && rel.MBR().MinDist(q.Pos) > q.D {
+		res.Stats.SkippedMBR = true
+		return res
+	}
+
+	// Filter pre-check: the best conceivable local tuple (l_1..l_n) is
+	// strictly dominated by the filter, so no local tuple can survive.
+	if flt != nil && rel.Len() > 0 && flt.Dim() == rel.Dim() {
+		domAll := true
+		strict := false
+		for j := 0; j < rel.Dim(); j++ {
+			res.Stats.ValCmp++
+			lj := rel.AttrMin(j)
+			if flt.Attrs[j] > lj {
+				domAll = false
+				break
+			}
+			if flt.Attrs[j] < lj {
+				strict = true
+			}
+		}
+		if domAll && strict {
+			res.Stats.SkippedFilter = true
+			return res
+		}
+	}
+
+	// ID-based SFS scan. The relation is lexicographically sorted by ID
+	// vector, so accepted tuples are never evicted. IDs are decoded once
+	// into a flat row-major array; the dominance loop then runs over plain
+	// integers — the in-register form the paper's byte IDs take on a real
+	// device. Because the presort makes every accepted tuple ≤ the
+	// candidate on the sorted attribute, that attribute only contributes a
+	// strictness check (the Figure 4 comparison skip).
+	dim := rel.Dim()
+	sa := rel.SortAttr()
+
+	// Candidate enumeration: the paper's sequential scan, or the spatial
+	// bucket grid when the caller opted in and the range is selective. The
+	// grid yields indices in ascending order, preserving the lex-order
+	// property the SFS scan needs, and only the candidates are ID-decoded.
+	var order []int32
+	if q.SpatialIndex && !q.unconstrained() {
+		if cand, ok := rel.RangeCandidates(q.Pos, q.D); ok {
+			order = cand
+		}
+	}
+	var ids []uint32
+	count := rel.Len()
+	if order != nil {
+		count = len(order)
+		ids = rel.DecodeIDsFor(order)
+	} else {
+		ids = rel.DecodeIDs()
+	}
+	origIdx := func(slot int) int {
+		if order != nil {
+			return int(order[slot])
+		}
+		return slot
+	}
+
+	var sky []int // slots of accepted skyline tuples
+	for s := 0; s < count; s++ {
+		res.Stats.Scanned++
+		if !q.unconstrained() {
+			res.Stats.DistChecks++
+			if !q.inRange(rel.Pos(origIdx(s))) {
+				continue
+			}
+		}
+		res.Stats.InRange++
+		row := ids[s*dim : (s+1)*dim]
+		dominated := false
+		for _, k := range sky {
+			krow := ids[k*dim : (k+1)*dim]
+			leqAll := true
+			strict := false
+			for j := 0; j < dim; j++ {
+				if j == sa {
+					continue
+				}
+				res.Stats.IDCmp++
+				a, b := krow[j], row[j]
+				if a > b {
+					leqAll = false
+					break
+				}
+				if a < b {
+					strict = true
+				}
+			}
+			if leqAll && !strict {
+				// Full tie on the other attributes: dominance now hinges on
+				// the sorted attribute, the one comparison the presort
+				// usually makes unnecessary.
+				res.Stats.IDCmp++
+				strict = krow[sa] < row[sa]
+			}
+			if leqAll && strict {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			sky = append(sky, s)
+		}
+	}
+	res.Unreduced = len(sky)
+
+	// Filter application and max-VDR pick-up in one pass over SK_i.
+	var bestLocal *tuple.Tuple
+	bestVDR := math.Inf(-1)
+	for _, k := range sky {
+		t := rel.Tuple(origIdx(k))
+		if flt != nil {
+			res.Stats.ValCmp += dim
+			if flt.Dominates(t) {
+				continue
+			}
+		}
+		res.Skyline = append(res.Skyline, t)
+		if vdr != nil {
+			if v := vdr(t); v > bestVDR {
+				bestVDR = v
+				tt := t
+				bestLocal = &tt
+			}
+		}
+	}
+
+	// Dynamic filter update (§3.4): adopt the local tuple when it prunes
+	// harder than the current filter.
+	if bestLocal != nil && (flt == nil || bestVDR > res.FilterVDR) {
+		res.Filter = bestLocal
+		res.FilterVDR = bestVDR
+	}
+	return res
+}
+
+// BNLSkyline evaluates the same local query with block-nested-loop over any
+// storage model — the unindexed, unsorted baseline the paper runs on flat
+// storage. Every dominance test dereferences and compares raw attribute
+// values, which is precisely the cost hybrid storage avoids.
+func BNLSkyline(rel storage.Relation, q Query, flt *tuple.Tuple, vdr VDRFunc) Result {
+	res := Result{Filter: flt}
+	if flt != nil && vdr != nil {
+		res.FilterVDR = vdr(*flt)
+	}
+	if !q.unconstrained() && rel.MBR().MinDist(q.Pos) > q.D {
+		res.Stats.SkippedMBR = true
+		return res
+	}
+
+	// Flat storage exposes its rows directly (raw float comparisons, no
+	// indirection); domain and ring storage pay their per-access pointer
+	// chase or ring walk through Value on every comparison, which is
+	// exactly the cost the §4.1 ablation quantifies.
+	dim := rel.Dim()
+	value := rel.Value
+	if f, ok := rel.(*storage.Flat); ok {
+		rows := f.Rows()
+		value = func(i, j int) float64 { return rows[i][j] }
+	}
+	dominates := func(a, b int) bool {
+		better := false
+		for j := 0; j < dim; j++ {
+			res.Stats.ValCmp++
+			av, bv := value(a, j), value(b, j)
+			if av > bv {
+				return false
+			}
+			if av < bv {
+				better = true
+			}
+		}
+		return better
+	}
+
+	var window []int
+next:
+	for i := 0; i < rel.Len(); i++ {
+		res.Stats.Scanned++
+		if !q.unconstrained() {
+			res.Stats.DistChecks++
+			if !q.inRange(rel.Pos(i)) {
+				continue
+			}
+		}
+		res.Stats.InRange++
+		for _, w := range window {
+			if dominates(w, i) {
+				continue next
+			}
+		}
+		keep := window[:0]
+		for _, w := range window {
+			if !dominates(i, w) {
+				keep = append(keep, w)
+			}
+		}
+		window = append(keep, i)
+	}
+	res.Unreduced = len(window)
+
+	var bestLocal *tuple.Tuple
+	bestVDR := math.Inf(-1)
+	for _, w := range window {
+		t := rel.Tuple(w)
+		if flt != nil {
+			res.Stats.ValCmp += dim
+			if flt.Dominates(t) {
+				continue
+			}
+		}
+		res.Skyline = append(res.Skyline, t)
+		if vdr != nil {
+			if v := vdr(t); v > bestVDR {
+				bestVDR = v
+				tt := t
+				bestLocal = &tt
+			}
+		}
+	}
+	if bestLocal != nil && (flt == nil || bestVDR > res.FilterVDR) {
+		res.Filter = bestLocal
+		res.FilterVDR = bestVDR
+	}
+	return res
+}

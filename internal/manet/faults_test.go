@@ -1,0 +1,151 @@
+package manet
+
+import (
+	"testing"
+)
+
+// Lossy-radio scenarios: the protocol must stay live (no panics, queries
+// still progress via timeouts) and whatever it returns must be internally
+// consistent even when frames vanish.
+func TestLossyRadioBothStrategies(t *testing.T) {
+	for _, strategy := range []Forwarding{BreadthFirst, DepthFirst} {
+		for _, loss := range []float64{0.05, 0.2} {
+			p := DefaultParams()
+			p.Grid = 4
+			p.GlobalN = 6000
+			p.Strategy = strategy
+			p.SimTime = 3600
+			p.MinQueries, p.MaxQueries = 1, 1
+			p.Radio.Loss = loss
+			p.KeepSkylines = true
+			p.Seed = int64(100 * loss)
+			out := Run(p)
+			if len(out.Queries) == 0 {
+				t.Fatalf("%v loss=%v: no queries issued", strategy, loss)
+			}
+			if out.Radio.DroppedLoss == 0 {
+				t.Errorf("%v loss=%v: loss process never fired", strategy, loss)
+			}
+			for _, q := range out.Queries {
+				for i, a := range q.Skyline {
+					for j, b := range q.Skyline {
+						if i != j && a.Dominates(b) {
+							t.Fatalf("%v loss=%v: result contains dominated tuple", strategy, loss)
+						}
+					}
+					if !q.Pos.WithinDist(a.Pos(), q.D) {
+						t.Fatalf("%v loss=%v: result leaked out-of-range tuple", strategy, loss)
+					}
+				}
+			}
+			t.Logf("%v loss=%.0f%%: completion %.0f%%, %d frames lost",
+				strategy, loss*100, out.CompletionRate()*100, out.Radio.DroppedLoss)
+		}
+	}
+}
+
+// A single-device network: every query completes instantly against local
+// data only.
+func TestSingleDeviceNetwork(t *testing.T) {
+	p := DefaultParams()
+	p.Grid = 1
+	p.GlobalN = 2000
+	p.SimTime = 1200
+	p.MinQueries, p.MaxQueries = 2, 2
+	p.Static = true
+	p.KeepSkylines = true
+	out := Run(p)
+	if len(out.Queries) == 0 {
+		t.Fatalf("no queries issued")
+	}
+	for _, q := range out.Queries {
+		if !q.Done {
+			t.Errorf("single-device query should complete immediately")
+		}
+		if q.Acc.Devices != 0 {
+			t.Errorf("no remote devices exist; Acc.Devices = %d", q.Acc.Devices)
+		}
+	}
+}
+
+// Devices that hold no data (empty grid cells) must still relay and answer.
+func TestEmptyCellsStillRelay(t *testing.T) {
+	p := DefaultParams()
+	p.Grid = 5
+	p.GlobalN = 60 // ~2 tuples per cell; some cells certainly empty
+	p.SimTime = 3600
+	p.MinQueries, p.MaxQueries = 1, 1
+	p.Static = true
+	p.Radio.Range = 2000
+	p.BFQuorum = 1.0
+	p.Seed = 5
+	out := Run(p)
+	done := 0
+	for _, q := range out.Queries {
+		if q.Done {
+			done++
+		}
+	}
+	if done == 0 {
+		t.Fatalf("queries should complete even with empty relations")
+	}
+}
+
+// The DF ack and subtree timeouts must unblock an originator whose chosen
+// neighbour becomes unreachable mid-query. With a tiny subtree timeout the
+// query may return partial results but must always terminate.
+func TestDFTimeoutsTerminate(t *testing.T) {
+	p := DefaultParams()
+	p.Grid = 4
+	p.GlobalN = 4000
+	p.Strategy = DepthFirst
+	p.SimTime = 7200
+	p.MinQueries, p.MaxQueries = 1, 1
+	p.AckTimeout = 2
+	p.SubtreeTimeout = 20
+	p.Radio.Loss = 0.3 // heavy loss: many DF control messages vanish
+	p.Seed = 9
+	out := Run(p)
+	if out.CompletionRate() == 0 {
+		t.Errorf("DF should terminate via timeouts even under 30%% loss")
+	}
+}
+
+// A fading radio (gray-zone losses at the cell edge) must degrade — not
+// break — both strategies.
+func TestFadingRadio(t *testing.T) {
+	for _, strategy := range []Forwarding{BreadthFirst, DepthFirst} {
+		p := DefaultParams()
+		p.Grid = 4
+		p.GlobalN = 6000
+		p.Strategy = strategy
+		p.SimTime = 3600
+		p.MinQueries, p.MaxQueries = 1, 1
+		p.Radio.FadeMargin = 0.3
+		p.Seed = 31
+		out := Run(p)
+		if len(out.Queries) == 0 {
+			t.Fatalf("%v: no queries issued", strategy)
+		}
+		t.Logf("%v fading: completion %.0f%%, %d gray-zone drops",
+			strategy, out.CompletionRate()*100, out.Radio.DroppedRange)
+	}
+}
+
+// Dimension sweep: every supported dimensionality runs end to end.
+func TestAllDimensionalities(t *testing.T) {
+	for dim := 2; dim <= 5; dim++ {
+		p := DefaultParams()
+		p.Grid = 3
+		p.GlobalN = 3000
+		p.Dim = dim
+		p.SimTime = 1800
+		p.MinQueries, p.MaxQueries = 1, 1
+		p.Static = true
+		p.Radio.Range = 2000
+		out := Run(p)
+		if out.CompletionRate() == 0 {
+			t.Errorf("dim=%d: no queries completed", dim)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package manet
+
+import (
+	"manetskyline/internal/core"
+	"manetskyline/internal/tuple"
+)
+
+// tupleBytes is the wire size of one tuple: two float64 coordinates plus
+// one float64 per attribute (the paper's devices would ship narrower types;
+// the constant factor only scales transfer delays uniformly).
+func tupleBytes(dim int) int { return 16 + 8*dim }
+
+// querySize is the wire size of a query specification: id, cnt, position,
+// and distance, plus every filtering tuple it carries.
+func querySize(q core.Query) int {
+	s := 24
+	if q.Filter != nil {
+		s += tupleBytes(q.Filter.Dim()) + 8 // tuple + carried VDR score
+	}
+	for _, t := range q.Extra {
+		s += tupleBytes(t.Dim())
+	}
+	return s
+}
+
+// queryMsg disseminates a query under breadth-first forwarding (one-hop
+// broadcast, rebroadcast by every first-time receiver).
+type queryMsg struct {
+	Q core.Query
+}
+
+func (m *queryMsg) SizeBytes() int { return querySize(m.Q) }
+
+// resultMsg returns one device's reduced local skyline to the originator
+// under breadth-first forwarding (multi-hop unicast).
+type resultMsg struct {
+	Key    core.QueryKey
+	From   core.DeviceID
+	Tuples []tuple.Tuple
+}
+
+func (m *resultMsg) SizeBytes() int {
+	dim := 0
+	if len(m.Tuples) > 0 {
+		dim = m.Tuples[0].Dim()
+	}
+	return 16 + len(m.Tuples)*tupleBytes(dim)
+}
+
+// dfQueryMsg hands the query to one neighbour under depth-first forwarding.
+type dfQueryMsg struct {
+	Q core.Query
+}
+
+func (m *dfQueryMsg) SizeBytes() int { return querySize(m.Q) }
+
+// dfAckMsg acknowledges a depth-first hand-off: Accept=false means the
+// neighbour already processed this query ("try someone else").
+type dfAckMsg struct {
+	Key    core.QueryKey
+	Accept bool
+}
+
+func (m *dfAckMsg) SizeBytes() int { return 8 }
+
+// dfResultMsg returns a completed subtree's merged result (and the best
+// filter it discovered) to the depth-first parent.
+type dfResultMsg struct {
+	Key       core.QueryKey
+	Tuples    []tuple.Tuple
+	Filter    *tuple.Tuple
+	FilterVDR float64
+}
+
+func (m *dfResultMsg) SizeBytes() int {
+	dim := 0
+	if len(m.Tuples) > 0 {
+		dim = m.Tuples[0].Dim()
+	}
+	s := 24 + len(m.Tuples)*tupleBytes(dim)
+	if m.Filter != nil {
+		s += tupleBytes(m.Filter.Dim()) + 8
+	}
+	return s
+}
+
+// queryKeyOf extracts the query key from any manet protocol payload, for
+// per-query message attribution; ok is false for non-manet payloads.
+func queryKeyOf(p any) (core.QueryKey, bool) {
+	switch m := p.(type) {
+	case *queryMsg:
+		return m.Q.Key(), true
+	case *resultMsg:
+		return m.Key, true
+	case *dfQueryMsg:
+		return m.Q.Key(), true
+	case *dfAckMsg:
+		return m.Key, true
+	case *dfResultMsg:
+		return m.Key, true
+	default:
+		return core.QueryKey{}, false
+	}
+}

@@ -1,0 +1,335 @@
+package manet
+
+import (
+	"sort"
+
+	"manetskyline/internal/core"
+	"manetskyline/internal/localsky"
+	"manetskyline/internal/radio"
+	"manetskyline/internal/tuple"
+)
+
+// node is one simulated mobile device: protocol state machine over the
+// AODV/radio substrate, local processing through the core.Device, and CPU
+// time consumption through the cost model.
+type node struct {
+	sc     *scenario
+	id     radio.NodeID
+	dev    *core.Device
+	tuples []tuple.Tuple // the device's raw local relation, for verification
+
+	// busy marks a query in progress as originator (§5.2.1: a device does
+	// not issue a new query while one is outstanding).
+	busy bool
+
+	bf map[core.QueryKey]*bfOrigState
+	df map[core.QueryKey]*dfState
+}
+
+// bfOrigState is the originator's collection state for one BF query.
+type bfOrigState struct {
+	merged []tuple.Tuple
+	quorum int
+}
+
+// dfState is a device's per-query state under depth-first forwarding.
+type dfState struct {
+	q      core.Query
+	parent radio.NodeID // -1 at the originator
+	tried  map[radio.NodeID]bool
+	merged []tuple.Tuple
+	flt    *tuple.Tuple
+	fltVDR float64
+
+	waitingAck   bool
+	waitingChild radio.NodeID // -1 when none
+	gen          int          // invalidates stale timers
+	done         bool
+}
+
+// maybeIssue fires at a scheduled issue time; a device with a query in
+// progress skips the opportunity.
+func (n *node) maybeIssue() {
+	if n.busy {
+		n.sc.skipped++
+		return
+	}
+	n.busy = true
+	pos := n.sc.med.PosOf(n.id)
+	q, res := n.dev.Originate(pos, n.sc.p.QueryDist)
+	n.sc.newMetrics(q)
+	n.sc.trace(TraceEvent{Event: "issue", Device: n.dev.ID, Org: q.Org, Cnt: q.Cnt})
+	// Local processing consumes simulated device time before anything is
+	// transmitted.
+	n.sc.eng.Schedule(n.sc.p.Cost.Time(res.Stats), func() {
+		switch n.sc.p.Strategy {
+		case BreadthFirst:
+			n.bfStart(q, res)
+		case DepthFirst:
+			n.dfStart(q, res)
+		}
+	})
+}
+
+// finishQuery closes out an originator's query.
+func (n *node) finishQuery(key core.QueryKey, merged []tuple.Tuple) {
+	m := n.sc.metrics[key]
+	if m == nil || m.Done {
+		return
+	}
+	m.Done = true
+	m.ResponseTime = n.sc.eng.Now() - m.Issued
+	m.ResultTuples = len(merged)
+	n.sc.trace(TraceEvent{Event: "complete", Device: n.dev.ID,
+		Org: key.Org, Cnt: key.Cnt, Tuples: len(merged)})
+	if n.sc.p.KeepSkylines {
+		m.Skyline = append([]tuple.Tuple(nil), merged...)
+	}
+	n.busy = false
+}
+
+// --- breadth-first ----------------------------------------------------------
+
+func (n *node) bfStart(q core.Query, res localsky.Result) {
+	if n.bf == nil {
+		n.bf = make(map[core.QueryKey]*bfOrigState)
+	}
+	st := &bfOrigState{merged: res.Skyline, quorum: n.sc.quorum()}
+	n.bf[q.Key()] = st
+	if st.quorum == 0 {
+		n.finishQuery(q.Key(), st.merged)
+		return
+	}
+	n.sc.countQueryMessages(q.Key(), n.sc.net.BroadcastLocal(n.id, &queryMsg{Q: q}))
+}
+
+// bfHandleQuery runs a first-time receiver's side of the flood.
+func (n *node) bfHandleQuery(q core.Query) {
+	if !n.dev.Log.FirstTime(q.Key()) {
+		return
+	}
+	res := n.dev.Process(q)
+	n.sc.eng.Schedule(n.sc.p.Cost.Time(res.Stats), func() {
+		n.sc.observe(q.Key(), processOutcome{
+			reducedLen: len(res.Skyline),
+			unreduced:  res.Unreduced,
+			filters:    q.NumFilters(),
+			skippedMBR: res.Stats.SkippedMBR,
+		})
+		n.sc.trace(TraceEvent{Event: "process", Device: n.dev.ID,
+			Org: q.Org, Cnt: q.Cnt, Tuples: len(res.Skyline)})
+		// Result back to the originator (multi-hop), even when empty: the
+		// paper's devices always return a correct, short message.
+		n.sc.net.Send(n.id, radio.NodeID(q.Org), &resultMsg{
+			Key: q.Key(), From: n.dev.ID, Tuples: res.Skyline,
+		})
+		// Keep flooding with the (possibly upgraded) filter.
+		n.sc.countQueryMessages(q.Key(),
+			n.sc.net.BroadcastLocal(n.id, &queryMsg{Q: core.Forwardable(q, res)}))
+	})
+}
+
+// bfHandleResult merges one device's result at the originator.
+func (n *node) bfHandleResult(m *resultMsg) {
+	st := n.bf[m.Key]
+	if st == nil {
+		return
+	}
+	st.merged = core.Merge(st.merged, m.Tuples)
+	qm := n.sc.metrics[m.Key]
+	if qm == nil {
+		return
+	}
+	qm.Results++
+	qm.ResultTuples = len(st.merged)
+	n.sc.trace(TraceEvent{Event: "result", Device: n.dev.ID,
+		Org: m.Key.Org, Cnt: m.Key.Cnt, Tuples: len(m.Tuples)})
+	if n.sc.p.KeepSkylines {
+		qm.Skyline = append([]tuple.Tuple(nil), st.merged...)
+	}
+	if !qm.Done && qm.Results >= st.quorum {
+		n.finishQuery(m.Key, st.merged)
+	}
+}
+
+// --- depth-first ------------------------------------------------------------
+
+func (n *node) dfStart(q core.Query, res localsky.Result) {
+	st := &dfState{
+		q:            q,
+		parent:       -1,
+		tried:        map[radio.NodeID]bool{},
+		merged:       res.Skyline,
+		flt:          q.Filter,
+		fltVDR:       q.FilterVDR,
+		waitingChild: -1,
+	}
+	n.putDF(q.Key(), st)
+	n.dfTryNext(st)
+}
+
+func (n *node) putDF(key core.QueryKey, st *dfState) {
+	if n.df == nil {
+		n.df = make(map[core.QueryKey]*dfState)
+	}
+	n.df[key] = st
+}
+
+// dfTryNext hands the query to the next untried neighbour, or returns the
+// merged subtree result when none remain.
+func (n *node) dfTryNext(st *dfState) {
+	if st.done || st.waitingAck || st.waitingChild >= 0 {
+		return
+	}
+	neighbors := n.sc.med.Neighbors(n.id)
+	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
+	next := radio.NodeID(-1)
+	for _, nb := range neighbors {
+		if !st.tried[nb] {
+			next = nb
+			break
+		}
+	}
+	if next < 0 {
+		n.dfFinish(st)
+		return
+	}
+	st.tried[next] = true
+	st.waitingAck = true
+	st.gen++
+	g := st.gen
+	n.sc.net.Send(n.id, next, &dfQueryMsg{Q: st.q.WithFilter(st.flt, st.fltVDR)})
+	n.sc.eng.Schedule(n.sc.p.AckTimeout, func() {
+		if st.gen == g && st.waitingAck && !st.done {
+			st.waitingAck = false
+			n.dfTryNext(st)
+		}
+	})
+}
+
+// dfFinish returns the merged result up the reverse path (or completes the
+// query at the originator).
+func (n *node) dfFinish(st *dfState) {
+	st.done = true
+	key := st.q.Key()
+	if st.parent < 0 {
+		n.finishQuery(key, st.merged)
+		return
+	}
+	n.sc.net.Send(n.id, st.parent, &dfResultMsg{
+		Key: key, Tuples: st.merged, Filter: st.flt, FilterVDR: st.fltVDR,
+	})
+}
+
+// dfHandleQuery runs one receiver's side of a DF hand-off.
+func (n *node) dfHandleQuery(from radio.NodeID, m *dfQueryMsg) {
+	key := m.Q.Key()
+	if !n.dev.Log.FirstTime(key) {
+		n.sc.net.Send(n.id, from, &dfAckMsg{Key: key, Accept: false})
+		return
+	}
+	n.sc.net.Send(n.id, from, &dfAckMsg{Key: key, Accept: true})
+	st := &dfState{
+		q:            m.Q,
+		parent:       from,
+		tried:        map[radio.NodeID]bool{from: true},
+		waitingChild: -1,
+	}
+	n.putDF(key, st)
+	res := n.dev.Process(m.Q)
+	n.sc.eng.Schedule(n.sc.p.Cost.Time(res.Stats), func() {
+		n.sc.observe(key, processOutcome{
+			reducedLen: len(res.Skyline),
+			unreduced:  res.Unreduced,
+			filters:    m.Q.NumFilters(),
+			skippedMBR: res.Stats.SkippedMBR,
+		})
+		n.sc.trace(TraceEvent{Event: "process", Device: n.dev.ID,
+			Org: key.Org, Cnt: key.Cnt, Tuples: len(res.Skyline)})
+		st.merged = res.Skyline
+		st.flt = res.Filter
+		st.fltVDR = res.FilterVDR
+		n.dfTryNext(st)
+	})
+}
+
+// dfHandleAck resolves a pending hand-off: accepted children get a subtree
+// timer; refusals move on immediately.
+func (n *node) dfHandleAck(from radio.NodeID, m *dfAckMsg) {
+	st := n.df[m.Key]
+	if st == nil || st.done || !st.waitingAck {
+		return
+	}
+	st.waitingAck = false
+	st.gen++
+	if !m.Accept {
+		n.dfTryNext(st)
+		return
+	}
+	st.waitingChild = from
+	g := st.gen
+	n.sc.eng.Schedule(n.sc.p.SubtreeTimeout, func() {
+		if st.gen == g && st.waitingChild == from && !st.done {
+			st.waitingChild = -1
+			n.dfTryNext(st)
+		}
+	})
+}
+
+// dfHandleResult merges a child's subtree result and continues with the
+// remaining neighbours.
+func (n *node) dfHandleResult(from radio.NodeID, m *dfResultMsg) {
+	st := n.df[m.Key]
+	if st == nil {
+		return
+	}
+	st.merged = core.Merge(st.merged, m.Tuples)
+	// Adopt the child's filter when it prunes harder (the backtracking
+	// counterpart of the §3.4 dynamic update).
+	if n.dev.Dynamic && m.Filter != nil && (st.flt == nil || m.FilterVDR > st.fltVDR) {
+		st.flt = m.Filter
+		st.fltVDR = m.FilterVDR
+	}
+	if st.done {
+		// A straggler subtree returned after this node already reported:
+		// at the originator the late data still improves the final answer;
+		// elsewhere it is lost, as in any best-effort MANET protocol.
+		if st.parent < 0 {
+			if qm := n.sc.metrics[m.Key]; qm != nil {
+				qm.ResultTuples = len(st.merged)
+				if n.sc.p.KeepSkylines {
+					qm.Skyline = append([]tuple.Tuple(nil), st.merged...)
+				}
+			}
+		}
+		return
+	}
+	if st.waitingChild == from {
+		st.waitingChild = -1
+		st.gen++
+	}
+	n.dfTryNext(st)
+}
+
+// --- dispatch ---------------------------------------------------------------
+
+// onData receives routed unicasts (results, DF control traffic).
+func (n *node) onData(src radio.NodeID, payload radio.Payload) {
+	switch m := payload.(type) {
+	case *resultMsg:
+		n.bfHandleResult(m)
+	case *dfQueryMsg:
+		n.dfHandleQuery(src, m)
+	case *dfAckMsg:
+		n.dfHandleAck(src, m)
+	case *dfResultMsg:
+		n.dfHandleResult(src, m)
+	}
+}
+
+// onLocal receives one-hop broadcasts (the BF flood).
+func (n *node) onLocal(from radio.NodeID, payload radio.Payload) {
+	if m, ok := payload.(*queryMsg); ok {
+		n.bfHandleQuery(m.Q)
+	}
+}

@@ -1,0 +1,205 @@
+// Package manet assembles the full simulated system of §5.2: mobile devices
+// holding grid-partitioned local relations in hybrid storage, moving under
+// random waypoint, communicating over a unit-disk radio with AODV routing,
+// and processing distributed constrained skyline queries with either
+// breadth-first or depth-first forwarding. Local processing consumes
+// simulated time according to the handheld cost model, reproducing the
+// paper's methodology of adding estimated device costs to simulated
+// communication delays (§5.2.3).
+package manet
+
+import (
+	"fmt"
+	"io"
+
+	"manetskyline/internal/aodv"
+	"manetskyline/internal/core"
+	"manetskyline/internal/device"
+	"manetskyline/internal/gen"
+	"manetskyline/internal/mobility"
+	"manetskyline/internal/radio"
+)
+
+// Forwarding selects the query dissemination strategy of §5.2.1.
+type Forwarding int
+
+const (
+	// BreadthFirst floods the query: the originator broadcasts to its
+	// neighbours; every device processes, unicasts its result back to the
+	// originator (multi-hop via AODV), and rebroadcasts.
+	BreadthFirst Forwarding = iota
+	// DepthFirst serializes the query: each device forwards to one
+	// neighbour at a time; results merge along the reverse path.
+	DepthFirst
+)
+
+// String names the strategy the way the paper's figures do.
+func (f Forwarding) String() string {
+	switch f {
+	case BreadthFirst:
+		return "BF"
+	case DepthFirst:
+		return "DF"
+	default:
+		return fmt.Sprintf("Forwarding(%d)", int(f))
+	}
+}
+
+// Params configures one simulated scenario.
+type Params struct {
+	// Grid is g: the spatial domain is partitioned into g×g cells, one
+	// device per cell (m = g²).
+	Grid int
+	// GlobalN is the cardinality of the global relation.
+	GlobalN int
+	// Dim is the number of non-spatial attributes.
+	Dim int
+	// Dist is the attribute distribution.
+	Dist gen.Distribution
+	// Space is the side of the square spatial domain (1000 in the paper).
+	Space float64
+	// Overlap optionally duplicates a fraction of tuples into a
+	// neighbouring cell, exercising duplicate elimination.
+	Overlap float64
+
+	// QueryDist is the distance of interest d (100/250/500 in the paper).
+	QueryDist float64
+	// Mode is the dominating-region estimation; the paper's simulations
+	// use under-estimation (§5.2.2-II).
+	Mode core.Estimation
+	// OverFactor configures Over estimation (0 ⇒ default).
+	OverFactor float64
+	// Dynamic enables hop-by-hop filter updates (the paper's simulations
+	// always update "if possible").
+	Dynamic bool
+	// NumFilters attaches k filtering tuples per query (§7 multi-filter
+	// extension); 0 and 1 mean the paper's single filter.
+	NumFilters int
+	// Strategy selects BF or DF forwarding.
+	Strategy Forwarding
+
+	// SimTime is the simulated duration in seconds (2 h in the paper).
+	SimTime float64
+	// MinQueries and MaxQueries bound how many queries each device issues
+	// at random times (1-5 in the paper).
+	MinQueries, MaxQueries int
+	// BFQuorum is the fraction of other devices whose results define BF
+	// response time (0.8 in the paper).
+	BFQuorum float64
+	// AckTimeout is how long a DF device waits for a neighbour to
+	// acknowledge a forwarded query before trying the next neighbour.
+	AckTimeout float64
+	// SubtreeTimeout is how long a DF device waits for an accepted child's
+	// subtree result before giving up on it.
+	SubtreeTimeout float64
+
+	// Radio, Mobility, Aodv, and Cost configure the substrates.
+	Radio    radio.Config
+	Mobility mobility.Config
+	Aodv     aodv.Config
+	Cost     device.CostModel
+
+	// Redistribute enables the paper's §7 future-work extension: devices
+	// that drift away from the region their data describes periodically
+	// hand their relation to a device currently closer to that region, so
+	// spatially constrained queries keep finding the relevant data within
+	// few network hops despite mobility.
+	Redistribute bool
+	// RedistributePeriod is the hand-off check interval in seconds
+	// (0 ⇒ 600).
+	RedistributePeriod float64
+
+	// StartAtCells starts each device at the centre of its data's grid
+	// cell instead of a uniform random point.
+	StartAtCells bool
+	// Static disables movement entirely (devices stay at their starting
+	// points); used by correctness tests.
+	Static bool
+	// KeepSkylines retains each query's final merged skyline in the
+	// metrics, for verification.
+	KeepSkylines bool
+
+	// Trace, when non-nil, receives a JSONL event trace of the run
+	// (see TraceEvent).
+	Trace io.Writer
+
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultParams returns a scenario matching the paper's Tables 6 and 7 at a
+// moderate scale: 5×5 devices, 50K tuples, 2 attributes, independent data,
+// d = 250, under-estimated dynamic filtering, BF forwarding, 2 simulated
+// hours.
+func DefaultParams() Params {
+	return Params{
+		Grid:    5,
+		GlobalN: 50000,
+		Dim:     2,
+		Dist:    gen.Independent,
+		Space:   1000,
+
+		QueryDist: 250,
+		Mode:      core.Under,
+		Dynamic:   true,
+		Strategy:  BreadthFirst,
+
+		SimTime:        7200,
+		MinQueries:     1,
+		MaxQueries:     5,
+		BFQuorum:       0.8,
+		AckTimeout:     5,
+		SubtreeTimeout: 300,
+
+		Radio:    radio.DefaultConfig(),
+		Mobility: mobility.DefaultConfig(),
+		Aodv:     aodv.DefaultConfig(),
+		Cost:     device.Handheld200MHz(),
+
+		StartAtCells: true,
+		Seed:         1,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Grid <= 0 {
+		return fmt.Errorf("manet: non-positive grid %d", p.Grid)
+	}
+	if p.GlobalN < 0 || p.Dim <= 0 {
+		return fmt.Errorf("manet: bad dataset shape n=%d dim=%d", p.GlobalN, p.Dim)
+	}
+	if p.Space <= 0 {
+		return fmt.Errorf("manet: non-positive space %g", p.Space)
+	}
+	if p.SimTime <= 0 {
+		return fmt.Errorf("manet: non-positive sim time %g", p.SimTime)
+	}
+	if p.MinQueries < 0 || p.MaxQueries < p.MinQueries {
+		return fmt.Errorf("manet: bad query count range [%d,%d]", p.MinQueries, p.MaxQueries)
+	}
+	if p.BFQuorum <= 0 || p.BFQuorum > 1 {
+		return fmt.Errorf("manet: BF quorum %g outside (0,1]", p.BFQuorum)
+	}
+	if p.AckTimeout <= 0 || p.SubtreeTimeout <= 0 {
+		return fmt.Errorf("manet: non-positive DF timeouts")
+	}
+	if err := p.Radio.Validate(); err != nil {
+		return err
+	}
+	if err := p.Aodv.Validate(); err != nil {
+		return err
+	}
+	if err := p.Cost.Validate(); err != nil {
+		return err
+	}
+	if !p.Static {
+		if err := p.Mobility.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumDevices returns m = Grid².
+func (p Params) NumDevices() int { return p.Grid * p.Grid }

@@ -1,0 +1,84 @@
+package manet
+
+import (
+	"testing"
+
+	"manetskyline/internal/skyline"
+	"manetskyline/internal/tuple"
+)
+
+// collectUnion gathers all tuples across devices, deduplicated by site.
+func collectUnion(out *Outcome) []tuple.Tuple {
+	seen := map[[2]float64]bool{}
+	var all []tuple.Tuple
+	for _, ts := range out.DeviceTuples {
+		for _, t := range ts {
+			k := [2]float64{t.X, t.Y}
+			if !seen[k] {
+				seen[k] = true
+				all = append(all, t)
+			}
+		}
+	}
+	return all
+}
+
+func TestRedistributionPreservesGlobalRelation(t *testing.T) {
+	base := DefaultParams()
+	base.Grid = 4
+	base.GlobalN = 6000
+	base.SimTime = 3600
+	base.MinQueries, base.MaxQueries = 1, 1
+	base.Seed = 11
+
+	off := Run(base)
+	on := base
+	on.Redistribute = true
+	on.RedistributePeriod = 300
+	outOn := Run(on)
+
+	t.Logf("transfers performed: %d", outOn.Transfers)
+	if outOn.Transfers == 0 {
+		t.Skip("no hand-offs triggered at this seed; invariant vacuous")
+	}
+	a, b := collectUnion(off), collectUnion(outOn)
+	if len(a) != len(b) {
+		t.Fatalf("redistribution changed the global relation: %d vs %d sites", len(a), len(b))
+	}
+	if !skyline.SetEqual(skyline.SFS(a), skyline.SFS(b)) {
+		t.Fatalf("redistribution changed the global skyline")
+	}
+}
+
+func TestRedistributionStaticNoOp(t *testing.T) {
+	// Motionless devices start at their data's cell centres: nobody is ever
+	// markedly closer to another's data, so no transfers happen.
+	p := DefaultParams()
+	p.Grid = 3
+	p.GlobalN = 2000
+	p.SimTime = 3600
+	p.MinQueries, p.MaxQueries = 1, 1
+	p.Static = true
+	p.Redistribute = true
+	p.RedistributePeriod = 200
+	out := Run(p)
+	if out.Transfers != 0 {
+		t.Errorf("static devices should not hand off data, got %d transfers", out.Transfers)
+	}
+}
+
+func TestRedistributionMobileRunsAndCompletes(t *testing.T) {
+	p := DefaultParams()
+	p.Grid = 5
+	p.GlobalN = 10000
+	p.SimTime = 7200
+	p.MinQueries, p.MaxQueries = 1, 2
+	p.Redistribute = true
+	p.Seed = 23
+	out := Run(p)
+	if out.CompletionRate() == 0 {
+		t.Errorf("no queries completed with redistribution enabled")
+	}
+	t.Logf("with redistribution: %d transfers, completion %.0f%%, DRR %.3f",
+		out.Transfers, out.CompletionRate()*100, out.PooledDRR())
+}

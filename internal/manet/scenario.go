@@ -1,0 +1,298 @@
+package manet
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+
+	"manetskyline/internal/aodv"
+	"manetskyline/internal/core"
+	"manetskyline/internal/gen"
+	"manetskyline/internal/mobility"
+	"manetskyline/internal/radio"
+	"manetskyline/internal/sim"
+	"manetskyline/internal/tuple"
+)
+
+// QueryMetrics records one query's life in the simulation.
+type QueryMetrics struct {
+	// Key identifies the query; Org is its originator.
+	Key core.QueryKey
+	Org core.DeviceID
+	// Pos and D are the query's spatial predicate (originator position at
+	// issue time and distance of interest), kept so ground truth can be
+	// recomputed.
+	Pos tuple.Point
+	D   float64
+	// Issued is the simulated issue time.
+	Issued float64
+	// Done reports whether the query completed (BF: the quorum of results
+	// arrived; DF: the originator exhausted its neighbours).
+	Done bool
+	// ResponseTime is the paper's §5.2.3 metric, valid when Done.
+	ResponseTime float64
+	// Results counts result messages the originator received (BF).
+	Results int
+	// Acc holds the Formula 1 sums over the devices that processed the
+	// query with in-range data.
+	Acc core.DRRAccumulator
+	// Messages counts hop-level protocol transmissions attributed to this
+	// query (query forwards, acks, and result hops).
+	Messages int
+	// ResultTuples is the final merged skyline size at the originator.
+	ResultTuples int
+	// Skyline is the final merged result (only with Params.KeepSkylines).
+	Skyline []tuple.Tuple
+}
+
+// DRR is the query's data reduction rate.
+func (m *QueryMetrics) DRR() float64 { return m.Acc.DRR() }
+
+// Outcome aggregates one scenario run.
+type Outcome struct {
+	// Queries lists per-query metrics in issue order.
+	Queries []*QueryMetrics
+	// Radio and Aodv expose substrate counters (routing overhead etc.).
+	Radio radio.Counters
+	Aodv  aodv.Counters
+	// SkippedIssues counts issue opportunities dropped because the device
+	// still had a query in progress (§5.2.1).
+	SkippedIssues int
+	// Events is the number of simulation events executed.
+	Events uint64
+	// Transfers counts relation hand-offs under Params.Redistribute.
+	Transfers int
+	// DeviceTuples holds every device's local relation (as of simulation
+	// end, after any redistribution), for verification; the union equals
+	// the global relation regardless of hand-offs.
+	DeviceTuples [][]tuple.Tuple
+}
+
+// PooledDRR evaluates Formula 1 over all queries' pooled sums.
+func (o *Outcome) PooledDRR() float64 {
+	var acc core.DRRAccumulator
+	for _, q := range o.Queries {
+		acc.Add(q.Acc)
+	}
+	return acc.DRR()
+}
+
+// MeanResponseTime averages response times over completed queries; ok is
+// false when none completed.
+func (o *Outcome) MeanResponseTime() (mean float64, ok bool) {
+	n := 0
+	for _, q := range o.Queries {
+		if q.Done {
+			mean += q.ResponseTime
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return mean / float64(n), true
+}
+
+// MeanMessages averages per-query message counts.
+func (o *Outcome) MeanMessages() float64 {
+	if len(o.Queries) == 0 {
+		return 0
+	}
+	total := 0
+	for _, q := range o.Queries {
+		total += q.Messages
+	}
+	return float64(total) / float64(len(o.Queries))
+}
+
+// CompletionRate is the fraction of issued queries that completed.
+func (o *Outcome) CompletionRate() float64 {
+	if len(o.Queries) == 0 {
+		return 0
+	}
+	done := 0
+	for _, q := range o.Queries {
+		if q.Done {
+			done++
+		}
+	}
+	return float64(done) / float64(len(o.Queries))
+}
+
+// scenario wires the substrates together for one run.
+type scenario struct {
+	p       Params
+	eng     *sim.Engine
+	med     *radio.Medium
+	net     *aodv.Network
+	nodes   []*node
+	metrics map[core.QueryKey]*QueryMetrics
+	order   []core.QueryKey
+	skipped int
+	redist  redistributionState
+
+	traceEnc *json.Encoder
+}
+
+// Run executes one scenario and returns its outcome.
+func Run(p Params) *Outcome {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	sc := build(p)
+	sc.eng.Run(p.SimTime)
+
+	out := &Outcome{
+		Radio:         sc.med.Counters,
+		Aodv:          sc.net.Counters,
+		SkippedIssues: sc.skipped,
+		Events:        sc.eng.Executed(),
+		Transfers:     sc.redist.transfers,
+	}
+	for _, k := range sc.order {
+		out.Queries = append(out.Queries, sc.metrics[k])
+	}
+	for _, n := range sc.nodes {
+		out.DeviceTuples = append(out.DeviceTuples, n.tuples)
+	}
+	return out
+}
+
+// build constructs the devices, network, and query schedule.
+func build(p Params) *scenario {
+	eng := sim.NewEngine(p.Seed)
+	med := radio.New(eng, p.Radio)
+	net := aodv.New(eng, med, p.Aodv)
+	sc := &scenario{
+		p:       p,
+		eng:     eng,
+		med:     med,
+		net:     net,
+		metrics: make(map[core.QueryKey]*QueryMetrics),
+	}
+	sc.initTrace(p.Trace)
+	// Hop-level message attribution: query hand-offs and result returns
+	// count toward Figure 12's metric; the ack/nack control chatter of this
+	// implementation's DF failure handling does not (the paper's protocol
+	// has no acks).
+	net.ForwardHook = func(payload radio.Payload) {
+		if _, isAck := payload.(*dfAckMsg); isAck {
+			return
+		}
+		if k, ok := queryKeyOf(payload); ok {
+			if m := sc.metrics[k]; m != nil {
+				m.Messages++
+			}
+		}
+	}
+
+	// Dataset and partitioning.
+	dcfg := gen.DefaultConfig(p.GlobalN, p.Dim, p.Dist, p.Seed)
+	dcfg.Space = p.Space
+	data := gen.Generate(dcfg)
+	parts := gen.OverlapPartition(data, p.Grid, p.Space, p.Overlap, p.Seed+1)
+	schema := dcfg.Schema()
+
+	rng := eng.RNG()
+	for i, part := range parts {
+		dev := core.NewDevice(core.DeviceID(i), part, schema, p.Mode, p.Dynamic)
+		dev.OverFactor = p.OverFactor
+		dev.NumFilters = p.NumFilters
+
+		row, col := i/p.Grid, i%p.Grid
+		var start tuple.Point
+		if p.StartAtCells {
+			start = gen.CellRect(row, col, p.Grid, p.Space).Center()
+		} else {
+			start = tuple.Point{X: rng.Float64() * p.Space, Y: rng.Float64() * p.Space}
+		}
+		var mob mobility.Model
+		if p.Static {
+			mob = mobility.Static(start)
+		} else {
+			mob = mobility.NewWaypointAt(p.Mobility, start, p.Seed+int64(i)*7919)
+		}
+
+		n := &node{sc: sc, dev: dev, tuples: part}
+		n.id = net.AddNode(mob, n.onData, n.onLocal)
+		sc.nodes = append(sc.nodes, n)
+	}
+
+	if p.Redistribute {
+		sc.scheduleRedistribution()
+	}
+
+	// Query schedule: each device issues Min..Max queries at random times
+	// in the first 90% of the simulation, skipping issues while a query is
+	// in progress.
+	for _, n := range sc.nodes {
+		n := n
+		k := p.MinQueries
+		if p.MaxQueries > p.MinQueries {
+			k += rng.Intn(p.MaxQueries - p.MinQueries + 1)
+		}
+		times := make([]float64, k)
+		for i := range times {
+			times[i] = rng.Float64() * p.SimTime * 0.9
+		}
+		sort.Float64s(times)
+		for _, t := range times {
+			eng.At(t, n.maybeIssue)
+		}
+	}
+	return sc
+}
+
+// newMetrics registers a fresh query.
+func (sc *scenario) newMetrics(q core.Query) *QueryMetrics {
+	m := &QueryMetrics{Key: q.Key(), Org: q.Org, Pos: q.Pos, D: q.D, Issued: sc.eng.Now()}
+	sc.metrics[q.Key()] = m
+	sc.order = append(sc.order, q.Key())
+	return m
+}
+
+// observe records one non-originator device's processing outcome for
+// Formula 1. Only devices that actually held in-range data participate:
+// devices rejected by the MBR pre-check, and devices whose constrained
+// local skyline was empty, contribute nothing to the reduction sums —
+// counting their shipped filter as pure cost would push the rate negative
+// for small query distances, which is not what the paper's Figures 8-9
+// measure.
+func (sc *scenario) observe(key core.QueryKey, res processOutcome) {
+	m := sc.metrics[key]
+	if m == nil || res.skippedMBR || res.unreduced == 0 {
+		return
+	}
+	m.Acc.Reduced += res.reducedLen
+	m.Acc.Unreduced += res.unreduced
+	m.Acc.Devices++
+	m.Acc.Filters += res.filters
+}
+
+// countQueryMessages attributes query-forwarding messages to a query; a
+// breadth-first broadcast counts once per addressed receiver (every
+// reception consumes air time and receiver energy), matching the paper's
+// Figure 12 semantics where flooding's cost grows with network density.
+func (sc *scenario) countQueryMessages(key core.QueryKey, n int) {
+	if m := sc.metrics[key]; m != nil {
+		m.Messages += n
+	}
+}
+
+// quorum computes the BF completion threshold: the paper's 80% of the other
+// devices.
+func (sc *scenario) quorum() int {
+	others := len(sc.nodes) - 1
+	if others <= 0 {
+		return 0
+	}
+	return int(math.Ceil(sc.p.BFQuorum * float64(others)))
+}
+
+// processOutcome is the slice of localsky.Result the metrics need.
+type processOutcome struct {
+	reducedLen int
+	unreduced  int
+	filters    int
+	skippedMBR bool
+}

@@ -1,0 +1,47 @@
+package manet
+
+import (
+	"encoding/json"
+	"io"
+
+	"manetskyline/internal/core"
+)
+
+// TraceEvent is one line of the simulation's JSONL event trace, enabled by
+// Params.Trace. Events narrate the protocol at query granularity: issue,
+// local processing, result arrival, completion, and relation hand-offs.
+type TraceEvent struct {
+	// T is the simulated time in seconds.
+	T float64 `json:"t"`
+	// Event is the event type: "issue", "process", "result", "complete",
+	// "transfer".
+	Event string `json:"event"`
+	// Device is the device the event happened on.
+	Device core.DeviceID `json:"device"`
+	// Org and Cnt identify the query (absent for transfers).
+	Org core.DeviceID `json:"org,omitempty"`
+	Cnt uint8         `json:"cnt,omitempty"`
+	// Tuples counts tuples involved (result sizes, transfer sizes).
+	Tuples int `json:"tuples,omitempty"`
+	// To is the receiving device of a transfer.
+	To core.DeviceID `json:"to,omitempty"`
+}
+
+// trace emits one event when tracing is enabled. Encoding errors disable
+// further tracing rather than disturbing the simulation.
+func (sc *scenario) trace(ev TraceEvent) {
+	if sc.traceEnc == nil {
+		return
+	}
+	ev.T = sc.eng.Now()
+	if err := sc.traceEnc.Encode(ev); err != nil {
+		sc.traceEnc = nil
+	}
+}
+
+// initTrace sets up the encoder.
+func (sc *scenario) initTrace(w io.Writer) {
+	if w != nil {
+		sc.traceEnc = json.NewEncoder(w)
+	}
+}

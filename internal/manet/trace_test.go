@@ -1,0 +1,80 @@
+package manet
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTraceEmitsCoherentEvents(t *testing.T) {
+	var buf bytes.Buffer
+	p := smallParams(BreadthFirst)
+	p.Trace = &buf
+	out := Run(p)
+
+	var events []TraceEvent
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var ev TraceEvent
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("trace is not valid JSONL: %v", err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) == 0 {
+		t.Fatalf("no trace events emitted")
+	}
+
+	// Times are non-decreasing; every event type is known; issues match the
+	// outcome's query count.
+	issues, completes := 0, 0
+	prev := -1.0
+	for i, ev := range events {
+		if ev.T < prev {
+			t.Fatalf("event %d goes back in time: %v after %v", i, ev.T, prev)
+		}
+		prev = ev.T
+		switch ev.Event {
+		case "issue":
+			issues++
+		case "complete":
+			completes++
+		case "process", "result", "transfer":
+		default:
+			t.Fatalf("unknown event type %q", ev.Event)
+		}
+	}
+	if issues != len(out.Queries) {
+		t.Errorf("trace has %d issues, outcome has %d queries", issues, len(out.Queries))
+	}
+	done := 0
+	for _, q := range out.Queries {
+		if q.Done {
+			done++
+		}
+	}
+	if completes != done {
+		t.Errorf("trace has %d completes, outcome has %d done", completes, done)
+	}
+	// Every complete must follow its query's issue.
+	seen := map[[2]int]bool{}
+	for _, ev := range events {
+		k := [2]int{int(ev.Org), int(ev.Cnt)}
+		switch ev.Event {
+		case "issue":
+			seen[k] = true
+		case "complete":
+			if !seen[k] {
+				t.Fatalf("complete before issue for %v", k)
+			}
+		}
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	p := smallParams(DepthFirst)
+	out := Run(p) // must not panic without a writer
+	if len(out.Queries) == 0 {
+		t.Fatalf("sanity: queries should run")
+	}
+}

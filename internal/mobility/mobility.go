@@ -1,0 +1,143 @@
+// Package mobility implements node movement models for the MANET
+// simulation. The paper's experiments use the random waypoint model of
+// Broch et al. (Table 7: speeds 2-10 m/s, 120 s holding time): every device
+// repeatedly picks a uniform random destination in the spatial domain,
+// travels there in a straight line at a uniform random speed, pauses for the
+// holding time, and repeats.
+//
+// Positions are a pure function of simulated time: trajectories are
+// materialized lazily as legs, so any component may ask for a node's
+// position at any (non-decreasing or decreasing) time without coordination.
+package mobility
+
+import (
+	"fmt"
+	"math/rand"
+
+	"manetskyline/internal/tuple"
+)
+
+// Model yields a node's position at a given simulated time.
+type Model interface {
+	// Pos returns the position at time t ≥ 0 (seconds).
+	Pos(t float64) tuple.Point
+}
+
+// Static is a motionless node, used by the pre-tests and as a degenerate
+// mobility model.
+type Static tuple.Point
+
+// Pos returns the fixed position.
+func (s Static) Pos(float64) tuple.Point { return tuple.Point(s) }
+
+// Config parameterizes the random waypoint model.
+type Config struct {
+	// Space is the side length of the square movement area.
+	Space float64
+	// SpeedMin and SpeedMax bound the per-leg uniform speed (m/s).
+	SpeedMin, SpeedMax float64
+	// Pause is the holding time at each destination (seconds).
+	Pause float64
+}
+
+// DefaultConfig returns the paper's Table 7 settings over a 1000×1000 area.
+func DefaultConfig() Config {
+	return Config{Space: 1000, SpeedMin: 2, SpeedMax: 10, Pause: 120}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Space <= 0 {
+		return fmt.Errorf("mobility: non-positive space %g", c.Space)
+	}
+	if c.SpeedMin <= 0 || c.SpeedMax < c.SpeedMin {
+		return fmt.Errorf("mobility: bad speed range [%g,%g]", c.SpeedMin, c.SpeedMax)
+	}
+	if c.Pause < 0 {
+		return fmt.Errorf("mobility: negative pause %g", c.Pause)
+	}
+	return nil
+}
+
+// Waypoint is one node's random-waypoint trajectory.
+type Waypoint struct {
+	cfg  Config
+	rng  *rand.Rand
+	legs []leg // materialized prefix of the trajectory
+}
+
+// leg covers [t0, t1): movement from a to b, then a pause until t1.
+type leg struct {
+	t0, moveEnd, t1 float64
+	from, to        tuple.Point
+}
+
+// NewWaypoint creates a trajectory starting at a uniform random position.
+// Each node must get its own rng (or at least its own seed) so trajectories
+// are independent yet reproducible.
+func NewWaypoint(cfg Config, seed int64) *Waypoint {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	w := &Waypoint{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	start := w.randPoint()
+	w.legs = append(w.legs, w.nextLeg(0, start))
+	return w
+}
+
+// NewWaypointAt creates a trajectory starting at a fixed position, used
+// when devices begin at the centre of their data's grid cell.
+func NewWaypointAt(cfg Config, start tuple.Point, seed int64) *Waypoint {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	w := &Waypoint{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	w.legs = append(w.legs, w.nextLeg(0, start))
+	return w
+}
+
+func (w *Waypoint) randPoint() tuple.Point {
+	return tuple.Point{
+		X: w.rng.Float64() * w.cfg.Space,
+		Y: w.rng.Float64() * w.cfg.Space,
+	}
+}
+
+func (w *Waypoint) nextLeg(t0 float64, from tuple.Point) leg {
+	to := w.randPoint()
+	speed := w.cfg.SpeedMin + w.rng.Float64()*(w.cfg.SpeedMax-w.cfg.SpeedMin)
+	travel := from.Dist(to) / speed
+	return leg{t0: t0, moveEnd: t0 + travel, t1: t0 + travel + w.cfg.Pause, from: from, to: to}
+}
+
+// Pos returns the node's position at time t. Times before zero clamp to the
+// starting position.
+func (w *Waypoint) Pos(t float64) tuple.Point {
+	if t <= 0 {
+		return w.legs[0].from
+	}
+	// Extend the trajectory to cover t.
+	for w.legs[len(w.legs)-1].t1 < t {
+		last := w.legs[len(w.legs)-1]
+		w.legs = append(w.legs, w.nextLeg(last.t1, last.to))
+	}
+	// Binary search for the covering leg.
+	lo, hi := 0, len(w.legs)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.legs[mid].t1 < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	l := w.legs[lo]
+	if t >= l.moveEnd {
+		return l.to // pausing
+	}
+	frac := (t - l.t0) / (l.moveEnd - l.t0)
+	return tuple.Point{
+		X: l.from.X + frac*(l.to.X-l.from.X),
+		Y: l.from.Y + frac*(l.to.Y-l.from.Y),
+	}
+}

@@ -1,0 +1,452 @@
+// Package p2p is the live counterpart of the discrete-event simulator: every
+// peer is a goroutine with an inbox, the transport is in-memory channels
+// with configurable latency, jitter, and loss, and the distributed skyline
+// protocol is the same core logic (local skylines, filtering tuples with
+// dynamic updates, duplicate-query suppression, merge assembly) running
+// under real concurrency.
+//
+// The paper validated its local optimizations on physical handhelds; this
+// runtime is the reproduction's analogue — it exercises identical protocol
+// code outside the simulator's single-threaded determinism, and it is what
+// the example applications drive.
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"manetskyline/internal/core"
+	"manetskyline/internal/localsky"
+	"manetskyline/internal/tuple"
+)
+
+// Config tunes the in-memory transport.
+type Config struct {
+	// Latency is the one-hop message delay.
+	Latency time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Loss is an independent per-message drop probability.
+	Loss float64
+	// QueryTimeout bounds how long an originator waits for results.
+	QueryTimeout time.Duration
+	// Quorum is the fraction of other peers whose results complete a query
+	// (1.0 demands everyone reachable).
+	Quorum float64
+	// Seed drives transport randomness.
+	Seed int64
+}
+
+// DefaultConfig returns fast settings suitable for tests and examples.
+func DefaultConfig() Config {
+	return Config{
+		Latency:      2 * time.Millisecond,
+		Jitter:       time.Millisecond,
+		Loss:         0,
+		QueryTimeout: 2 * time.Second,
+		Quorum:       1.0,
+		Seed:         1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Latency < 0 || c.Jitter < 0 {
+		return fmt.Errorf("p2p: negative latency or jitter")
+	}
+	if c.Loss < 0 || c.Loss >= 1 {
+		return fmt.Errorf("p2p: loss %g outside [0,1)", c.Loss)
+	}
+	if c.QueryTimeout <= 0 {
+		return fmt.Errorf("p2p: non-positive query timeout")
+	}
+	if c.Quorum <= 0 || c.Quorum > 1 {
+		return fmt.Errorf("p2p: quorum %g outside (0,1]", c.Quorum)
+	}
+	return nil
+}
+
+// Network is a set of live peers joined by explicit links.
+type Network struct {
+	cfg Config
+
+	mu     sync.Mutex
+	peers  map[core.DeviceID]*Peer
+	links  map[core.DeviceID]map[core.DeviceID]bool
+	rng    *rand.Rand
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork(cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Network{
+		cfg:   cfg,
+		peers: make(map[core.DeviceID]*Peer),
+		links: make(map[core.DeviceID]map[core.DeviceID]bool),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// AddPeer creates and starts a peer goroutine over the given local relation.
+func (n *Network) AddPeer(id core.DeviceID, ts []tuple.Tuple, schema tuple.Schema,
+	mode core.Estimation, dynamic bool, pos tuple.Point) *Peer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		panic("p2p: network closed")
+	}
+	if _, dup := n.peers[id]; dup {
+		panic(fmt.Sprintf("p2p: duplicate peer id %d", id))
+	}
+	p := &Peer{
+		net:     n,
+		dev:     core.NewDevice(id, ts, schema, mode, dynamic),
+		pos:     pos,
+		inbox:   make(chan envelope, 256),
+		quit:    make(chan struct{}),
+		pending: make(map[core.QueryKey]*pendingQuery),
+	}
+	n.peers[id] = p
+	n.links[id] = make(map[core.DeviceID]bool)
+	n.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+// Link joins two peers bidirectionally.
+func (n *Network) Link(a, b core.DeviceID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if a == b {
+		panic("p2p: self link")
+	}
+	n.links[a][b] = true
+	n.links[b][a] = true
+}
+
+// FullMesh links every pair of peers.
+func (n *Network) FullMesh() {
+	n.mu.Lock()
+	ids := make([]core.DeviceID, 0, len(n.peers))
+	for id := range n.peers {
+		ids = append(ids, id)
+	}
+	n.mu.Unlock()
+	for i, a := range ids {
+		for _, b := range ids[i+1:] {
+			n.Link(a, b)
+		}
+	}
+}
+
+// LinkByRange links every pair of peers whose positions lie within r.
+func (n *Network) LinkByRange(r float64) {
+	n.mu.Lock()
+	type pp struct {
+		id  core.DeviceID
+		pos tuple.Point
+	}
+	var all []pp
+	for id, p := range n.peers {
+		all = append(all, pp{id, p.pos})
+	}
+	n.mu.Unlock()
+	for i, a := range all {
+		for _, b := range all[i+1:] {
+			if a.pos.WithinDist(b.pos, r) {
+				n.Link(a.id, b.id)
+			}
+		}
+	}
+}
+
+// Peers returns the peer count.
+func (n *Network) Peers() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.peers)
+}
+
+// Neighbors returns a peer's linked neighbours in ID order.
+func (n *Network) Neighbors(id core.DeviceID) []core.DeviceID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []core.DeviceID
+	for nb := range n.links[id] {
+		out = append(out, nb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Close stops all peers and waits for their goroutines.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	peers := make([]*Peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	for _, p := range peers {
+		close(p.quit)
+	}
+	n.wg.Wait()
+}
+
+// send delivers an envelope to dst with simulated latency and loss. It is
+// safe to call from any goroutine.
+func (n *Network) send(dst core.DeviceID, env envelope) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	p, ok := n.peers[dst]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	delay := n.cfg.Latency
+	if n.cfg.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+	}
+	drop := n.cfg.Loss > 0 && n.rng.Float64() < n.cfg.Loss
+	n.mu.Unlock()
+	if drop {
+		return
+	}
+	time.AfterFunc(delay, func() {
+		select {
+		case p.inbox <- env:
+		case <-p.quit:
+		default: // inbox full: drop, as a saturated radio would
+		}
+	})
+}
+
+// linked reports whether two peers are neighbours.
+func (n *Network) linked(a, b core.DeviceID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.links[a][b]
+}
+
+// --- peer -------------------------------------------------------------------
+
+// envelope is one in-flight message.
+type envelope struct {
+	from core.DeviceID
+	msg  any
+}
+
+// queryMsg floods a query; resultMsg returns a local skyline to the
+// originator.
+type queryMsg struct {
+	q core.Query
+}
+
+type resultMsg struct {
+	key    core.QueryKey
+	from   core.DeviceID
+	tuples []tuple.Tuple
+}
+
+// pendingQuery is the originator's collection state.
+type pendingQuery struct {
+	merged   []tuple.Tuple
+	results  int
+	want     int
+	done     chan struct{}
+	closed   bool
+	progress ProgressFunc
+}
+
+// ProgressFunc observes a query's partial result each time another peer's
+// reply has been merged. The slice is a copy the callback may keep; it is
+// invoked from the originator's peer goroutine, so it must not block on the
+// query itself.
+type ProgressFunc func(partial []tuple.Tuple, results int)
+
+// Peer is one live device.
+type Peer struct {
+	net   *Network
+	dev   *core.Device
+	pos   tuple.Point
+	inbox chan envelope
+	quit  chan struct{}
+
+	mu      sync.Mutex
+	pending map[core.QueryKey]*pendingQuery
+}
+
+// ID returns the peer's device ID.
+func (p *Peer) ID() core.DeviceID { return p.dev.ID }
+
+// Pos returns the peer's position.
+func (p *Peer) Pos() tuple.Point { return p.pos }
+
+// loop is the peer goroutine: handle messages until the network closes.
+func (p *Peer) loop() {
+	defer p.net.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case env := <-p.inbox:
+			p.handle(env)
+		}
+	}
+}
+
+func (p *Peer) handle(env envelope) {
+	switch m := env.msg.(type) {
+	case *queryMsg:
+		p.handleQuery(m.q)
+	case *resultMsg:
+		p.handleResult(m)
+	}
+}
+
+// handleQuery runs the remote side of the BF protocol: process once, reply
+// to the originator, keep flooding with the possibly upgraded filter.
+func (p *Peer) handleQuery(q core.Query) {
+	if !p.dev.Log.FirstTime(q.Key()) {
+		return
+	}
+	res := p.dev.Process(q)
+	p.net.send(q.Org, envelope{from: p.dev.ID, msg: &resultMsg{
+		key: q.Key(), from: p.dev.ID, tuples: res.Skyline,
+	}})
+	fwd := core.Forwardable(q, res)
+	for _, nb := range p.net.Neighbors(p.dev.ID) {
+		if nb != q.Org && nb != p.dev.ID {
+			p.net.send(nb, envelope{from: p.dev.ID, msg: &queryMsg{q: fwd}})
+		}
+	}
+}
+
+// handleResult merges one result at the originator.
+func (p *Peer) handleResult(m *resultMsg) {
+	p.mu.Lock()
+	pq := p.pending[m.key]
+	if pq == nil {
+		p.mu.Unlock()
+		return
+	}
+	pq.merged = core.Merge(pq.merged, m.tuples)
+	pq.results++
+	var snapshot []tuple.Tuple
+	progress := pq.progress
+	results := pq.results
+	if progress != nil {
+		snapshot = append([]tuple.Tuple(nil), pq.merged...)
+	}
+	if !pq.closed && pq.results >= pq.want {
+		pq.closed = true
+		close(pq.done)
+	}
+	p.mu.Unlock()
+	if progress != nil {
+		progress(snapshot, results)
+	}
+}
+
+// QueryResult reports a distributed query's outcome.
+type QueryResult struct {
+	// Skyline is the merged final result.
+	Skyline []tuple.Tuple
+	// Results is how many peers responded.
+	Results int
+	// Complete reports whether the quorum was reached before the timeout.
+	Complete bool
+	// Elapsed is the wall-clock query duration.
+	Elapsed time.Duration
+}
+
+// ErrNoPeers is returned when a query is issued into an empty network.
+var ErrNoPeers = errors.New("p2p: no peers to query")
+
+// Query originates a distributed constrained skyline query at this peer:
+// the local skyline seeds the result and the filtering tuple, the query
+// floods the link graph, and results merge as they arrive. It blocks until
+// the configured quorum of other peers responded or the query timeout
+// elapsed.
+func (p *Peer) Query(d float64) (QueryResult, error) {
+	return p.QueryProgressive(d, nil)
+}
+
+// QueryProgressive is Query with a progress callback: onUpdate fires after
+// each merged reply with a snapshot of the partial skyline, giving the
+// caller the progressive behaviour skyline users expect (early answers
+// refine, never retract incorrectly — merged tuples only leave when a
+// better arrival dominates them).
+func (p *Peer) QueryProgressive(d float64, onUpdate ProgressFunc) (QueryResult, error) {
+	start := time.Now()
+	n := p.net.Peers()
+	if n == 0 {
+		return QueryResult{}, ErrNoPeers
+	}
+	q, res := p.dev.Originate(p.pos, d)
+
+	want := int(float64(n-1)*p.net.cfg.Quorum + 0.999999)
+	pq := &pendingQuery{
+		merged: res.Skyline, want: want,
+		done: make(chan struct{}), progress: onUpdate,
+	}
+	p.mu.Lock()
+	p.pending[q.Key()] = pq
+	p.mu.Unlock()
+
+	if want == 0 {
+		p.mu.Lock()
+		out := QueryResult{Skyline: pq.merged, Complete: true, Elapsed: time.Since(start)}
+		delete(p.pending, q.Key())
+		p.mu.Unlock()
+		return out, nil
+	}
+
+	for _, nb := range p.net.Neighbors(p.dev.ID) {
+		p.net.send(nb, envelope{from: p.dev.ID, msg: &queryMsg{q: q}})
+	}
+
+	timer := time.NewTimer(p.net.cfg.QueryTimeout)
+	defer timer.Stop()
+	complete := false
+	select {
+	case <-pq.done:
+		complete = true
+	case <-timer.C:
+	case <-p.quit:
+	}
+
+	p.mu.Lock()
+	out := QueryResult{
+		Skyline:  append([]tuple.Tuple(nil), pq.merged...),
+		Results:  pq.results,
+		Complete: complete,
+		Elapsed:  time.Since(start),
+	}
+	delete(p.pending, q.Key())
+	p.mu.Unlock()
+	return out, nil
+}
+
+// LocalSkyline evaluates the peer's own constrained skyline without any
+// communication — what the device can answer from its own data.
+func (p *Peer) LocalSkyline(d float64) []tuple.Tuple {
+	res := localsky.HybridSkyline(p.dev.Rel, localsky.Query{Pos: p.pos, D: d}, nil, nil)
+	return res.Skyline
+}

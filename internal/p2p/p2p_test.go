@@ -1,0 +1,331 @@
+package p2p
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"manetskyline/internal/core"
+	"manetskyline/internal/gen"
+	"manetskyline/internal/skyline"
+	"manetskyline/internal/tuple"
+)
+
+// buildNetwork partitions a fresh dataset over g×g peers positioned at
+// their cell centres.
+func buildNetwork(t *testing.T, cfg Config, n, dim, g int, dist gen.Distribution, seed int64) (*Network, []*Peer, []tuple.Tuple) {
+	t.Helper()
+	c := gen.DefaultConfig(n, dim, dist, seed)
+	data := gen.Generate(c)
+	parts := gen.GridPartition(data, g, c.Space)
+	net := NewNetwork(cfg)
+	peers := make([]*Peer, len(parts))
+	for i, part := range parts {
+		pos := gen.CellRect(i/g, i%g, g, c.Space).Center()
+		peers[i] = net.AddPeer(core.DeviceID(i), part, c.Schema(), core.Under, true, pos)
+	}
+	return net, peers, data
+}
+
+func TestQueryMatchesCentralizedFullMesh(t *testing.T) {
+	net, peers, data := buildNetwork(t, DefaultConfig(), 4000, 2, 3, gen.Independent, 5)
+	defer net.Close()
+	net.FullMesh()
+	for _, d := range []float64{100, 250, 500} {
+		for _, p := range []*Peer{peers[0], peers[4], peers[8]} {
+			res, err := p.Query(d)
+			if err != nil {
+				t.Fatalf("Query: %v", err)
+			}
+			if !res.Complete {
+				t.Fatalf("query d=%v at %d incomplete (%d results)", d, p.ID(), res.Results)
+			}
+			want := skyline.Constrained(data, p.Pos(), d)
+			if !skyline.SetEqual(res.Skyline, want) {
+				t.Errorf("d=%v org=%d: got %d tuples, want %d", d, p.ID(), len(res.Skyline), len(want))
+			}
+		}
+	}
+}
+
+func TestQueryOverMultiHopTopology(t *testing.T) {
+	net, peers, data := buildNetwork(t, DefaultConfig(), 3000, 2, 3, gen.AntiCorrelated, 9)
+	defer net.Close()
+	// Grid adjacency only: corner-to-corner queries need 4 hops.
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			id := core.DeviceID(r*3 + c)
+			if c < 2 {
+				net.Link(id, id+1)
+			}
+			if r < 2 {
+				net.Link(id, id+3)
+			}
+		}
+	}
+	res, err := peers[0].Query(800)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !res.Complete {
+		t.Fatalf("multi-hop query incomplete: %d results", res.Results)
+	}
+	want := skyline.Constrained(data, peers[0].Pos(), 800)
+	if !skyline.SetEqual(res.Skyline, want) {
+		t.Errorf("got %d tuples, want %d", len(res.Skyline), len(want))
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	net, peers, data := buildNetwork(t, DefaultConfig(), 3000, 2, 3, gen.Independent, 13)
+	defer net.Close()
+	net.FullMesh()
+	var wg sync.WaitGroup
+	errs := make(chan string, len(peers))
+	for _, p := range peers {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := p.Query(400)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			if !res.Complete {
+				errs <- "incomplete"
+				return
+			}
+			want := skyline.Constrained(data, p.Pos(), 400)
+			if !skyline.SetEqual(res.Skyline, want) {
+				errs <- "wrong result"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Errorf("concurrent query failed: %s", e)
+	}
+}
+
+func TestRepeatedQueriesFromSamePeer(t *testing.T) {
+	net, peers, data := buildNetwork(t, DefaultConfig(), 2000, 3, 2, gen.Independent, 3)
+	defer net.Close()
+	net.FullMesh()
+	for i := 0; i < 5; i++ {
+		res, err := peers[1].Query(300)
+		if err != nil || !res.Complete {
+			t.Fatalf("round %d: err=%v complete=%v", i, err, res.Complete)
+		}
+		want := skyline.Constrained(data, peers[1].Pos(), 300)
+		if !skyline.SetEqual(res.Skyline, want) {
+			t.Fatalf("round %d: wrong result", i)
+		}
+	}
+}
+
+func TestPartitionedNetworkTimesOut(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueryTimeout = 100 * time.Millisecond
+	net, peers, _ := buildNetwork(t, cfg, 1000, 2, 2, gen.Independent, 7)
+	defer net.Close()
+	// Only link peers 0-1; peers 2,3 are unreachable.
+	net.Link(0, 1)
+	res, err := peers[0].Query(core.Unconstrained())
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Complete {
+		t.Errorf("partitioned query should not complete at quorum 1.0")
+	}
+	if res.Results != 1 {
+		t.Errorf("results = %d, want 1 (only peer 1 reachable)", res.Results)
+	}
+}
+
+func TestQuorumBelowOne(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Quorum = 0.3
+	cfg.QueryTimeout = 2 * time.Second
+	net, peers, _ := buildNetwork(t, cfg, 1000, 2, 2, gen.Independent, 7)
+	defer net.Close()
+	net.Link(0, 1) // 1 of 3 others ⇒ 33% ≥ quorum… want = ceil(0.3*3) = 1
+	res, err := peers[0].Query(core.Unconstrained())
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !res.Complete {
+		t.Errorf("one result should satisfy a 0.3 quorum of 3 peers")
+	}
+}
+
+func TestLossyTransportStillCorrectEnough(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Loss = 0.2
+	cfg.Quorum = 0.5
+	cfg.QueryTimeout = 3 * time.Second
+	net, peers, _ := buildNetwork(t, cfg, 2000, 2, 3, gen.Independent, 11)
+	defer net.Close()
+	net.FullMesh()
+	res, err := peers[4].Query(500)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	// With 20% loss and a full mesh, at least the quorum should arrive.
+	if !res.Complete {
+		t.Logf("lossy query incomplete with %d results (acceptable but noteworthy)", res.Results)
+	}
+	// Whatever arrived must be internally consistent: mutually non-dominated.
+	for i, a := range res.Skyline {
+		for j, b := range res.Skyline {
+			if i != j && a.Dominates(b) {
+				t.Fatalf("result contains dominated tuple %v < %v", b, a)
+			}
+		}
+	}
+}
+
+func TestEmptyPeerRelations(t *testing.T) {
+	net := NewNetwork(DefaultConfig())
+	defer net.Close()
+	schema := tuple.NewSchema(2, 0, 1000)
+	a := net.AddPeer(0, nil, schema, core.Under, true, tuple.Point{})
+	net.AddPeer(1, nil, schema, core.Under, true, tuple.Point{X: 10})
+	net.FullMesh()
+	res, err := a.Query(100)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(res.Skyline) != 0 {
+		t.Errorf("empty relations should yield empty skyline: %v", res.Skyline)
+	}
+}
+
+func TestLocalSkyline(t *testing.T) {
+	net, peers, _ := buildNetwork(t, DefaultConfig(), 2000, 2, 2, gen.Independent, 3)
+	defer net.Close()
+	local := peers[0].LocalSkyline(400)
+	for i, a := range local {
+		for j, b := range local {
+			if i != j && a.Dominates(b) {
+				t.Fatalf("local skyline contains dominated tuple")
+			}
+		}
+		if !peers[0].Pos().WithinDist(a.Pos(), 400) {
+			t.Fatalf("local skyline leaked out-of-range tuple")
+		}
+	}
+}
+
+func TestNetworkGuards(t *testing.T) {
+	net := NewNetwork(DefaultConfig())
+	schema := tuple.NewSchema(1, 0, 1)
+	net.AddPeer(0, nil, schema, core.Exact, true, tuple.Point{})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("duplicate peer should panic")
+			}
+		}()
+		net.AddPeer(0, nil, schema, core.Exact, true, tuple.Point{})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("self link should panic")
+			}
+		}()
+		net.Link(0, 0)
+	}()
+	net.Close()
+	net.Close() // idempotent
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("adding to closed network should panic")
+			}
+		}()
+		net.AddPeer(1, nil, schema, core.Exact, true, tuple.Point{})
+	}()
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	bad := []Config{
+		{Latency: -1, QueryTimeout: 1, Quorum: 1},
+		{Loss: 1, QueryTimeout: 1, Quorum: 1},
+		{QueryTimeout: 0, Quorum: 1},
+		{QueryTimeout: 1, Quorum: 0},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestLinkByRange(t *testing.T) {
+	net := NewNetwork(DefaultConfig())
+	defer net.Close()
+	schema := tuple.NewSchema(1, 0, 1)
+	net.AddPeer(0, nil, schema, core.Exact, true, tuple.Point{X: 0})
+	net.AddPeer(1, nil, schema, core.Exact, true, tuple.Point{X: 100})
+	net.AddPeer(2, nil, schema, core.Exact, true, tuple.Point{X: 300})
+	net.LinkByRange(150)
+	if !net.linked(0, 1) || net.linked(0, 2) {
+		t.Errorf("range linking wrong: 0-1 %v, 0-2 %v", net.linked(0, 1), net.linked(0, 2))
+	}
+	if nb := net.Neighbors(1); len(nb) != 0 && nb[0] != 0 {
+		t.Errorf("Neighbors(1) = %v", nb)
+	}
+}
+
+func TestQueryProgressive(t *testing.T) {
+	net, peers, data := buildNetwork(t, DefaultConfig(), 2000, 2, 3, gen.Independent, 21)
+	defer net.Close()
+	net.FullMesh()
+
+	var mu sync.Mutex
+	var snapshots [][]tuple.Tuple
+	var counts []int
+	res, err := peers[4].QueryProgressive(500, func(partial []tuple.Tuple, results int) {
+		mu.Lock()
+		defer mu.Unlock()
+		snapshots = append(snapshots, partial)
+		counts = append(counts, results)
+	})
+	if err != nil || !res.Complete {
+		t.Fatalf("progressive query failed: %v %v", err, res.Complete)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(snapshots) != 8 {
+		t.Fatalf("got %d progress updates, want 8 (one per peer)", len(snapshots))
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] != counts[i-1]+1 {
+			t.Errorf("result counts not incremental: %v", counts)
+		}
+	}
+	// Every snapshot must be internally consistent (mutually non-dominated),
+	// and the last snapshot equals the final answer.
+	for si, snap := range snapshots {
+		for i, a := range snap {
+			for j, b := range snap {
+				if i != j && a.Dominates(b) {
+					t.Fatalf("snapshot %d contains dominated tuple", si)
+				}
+			}
+		}
+	}
+	if !skyline.SetEqual(snapshots[len(snapshots)-1], res.Skyline) {
+		t.Errorf("final snapshot differs from returned result")
+	}
+	want := skyline.Constrained(data, peers[4].Pos(), 500)
+	if !skyline.SetEqual(res.Skyline, want) {
+		t.Errorf("progressive result differs from centralized")
+	}
+}

@@ -1,0 +1,97 @@
+package radio
+
+import (
+	"testing"
+
+	"manetskyline/internal/mobility"
+	"manetskyline/internal/sim"
+	"manetskyline/internal/tuple"
+)
+
+// fadeRate sends n frames over a link of the given length and returns the
+// delivered fraction.
+func fadeRate(t *testing.T, cfg Config, dist float64, n int) float64 {
+	t.Helper()
+	eng := sim.NewEngine(7)
+	m := New(eng, cfg)
+	got := 0
+	m.AddNode(mobility.Static(tuple.Point{}), func(NodeID, Payload) {})
+	m.AddNode(mobility.Static(tuple.Point{X: dist}), func(NodeID, Payload) { got++ })
+	for i := 0; i < n; i++ {
+		m.Unicast(0, 1, fakePayload(10))
+	}
+	eng.RunAll()
+	return float64(got) / float64(n)
+}
+
+func TestFadeMarginGrayZone(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FadeMargin = 0.2 // gray zone from 304 m to 380 m
+	const n = 600
+
+	if r := fadeRate(t, cfg, 100, n); r != 1 {
+		t.Errorf("well inside range should be lossless, got %.2f", r)
+	}
+	if r := fadeRate(t, cfg, 300, n); r != 1 {
+		t.Errorf("just inside the gray zone edge should be lossless, got %.2f", r)
+	}
+	mid := fadeRate(t, cfg, 342, n) // middle of the gray zone: ~50%
+	if mid < 0.3 || mid > 0.7 {
+		t.Errorf("mid-gray-zone delivery = %.2f, want ≈0.5", mid)
+	}
+	near := fadeRate(t, cfg, 310, n)
+	far := fadeRate(t, cfg, 375, n)
+	if near <= far {
+		t.Errorf("delivery should fall with distance in the gray zone: %.2f vs %.2f", near, far)
+	}
+	if r := fadeRate(t, cfg, 379, n); r > 0.15 {
+		t.Errorf("at the very edge delivery should be near zero, got %.2f", r)
+	}
+}
+
+func TestZeroFadeMarginIsUnitDisk(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.FadeMargin != 0 {
+		t.Fatalf("default must stay deterministic")
+	}
+	if r := fadeRate(t, cfg, cfg.Range-0.5, 50); r != 1 {
+		t.Errorf("unit disk: in-range must always deliver, got %.2f", r)
+	}
+}
+
+func TestFadeMarginValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FadeMargin = 1.5
+	if cfg.Validate() == nil {
+		t.Errorf("fade margin > 1 should be invalid")
+	}
+	cfg.FadeMargin = -0.1
+	if cfg.Validate() == nil {
+		t.Errorf("negative fade margin should be invalid")
+	}
+	cfg.FadeMargin = 1
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("fade margin 1 should be valid: %v", err)
+	}
+}
+
+// The MANET layer must keep working over a fading radio (timeouts and
+// retries absorb gray-zone losses).
+func TestFadingCountsDrops(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FadeMargin = 0.5
+	eng := sim.NewEngine(3)
+	m := New(eng, cfg)
+	m.AddNode(mobility.Static(tuple.Point{}), func(NodeID, Payload) {})
+	m.AddNode(mobility.Static(tuple.Point{X: cfg.Range * 0.9}), func(NodeID, Payload) {})
+	for i := 0; i < 200; i++ {
+		m.Unicast(0, 1, fakePayload(10))
+	}
+	eng.RunAll()
+	if m.Counters.DroppedRange == 0 {
+		t.Errorf("gray-zone drops should be counted as range drops")
+	}
+	if m.Counters.Receptions == 0 {
+		t.Errorf("some frames should still get through at 90%% range")
+	}
+}

@@ -1,0 +1,268 @@
+// Package radio models the wireless medium of the MANET simulation: a
+// unit-disk 802.11-style broadcast channel in the spirit of the SWANS radio
+// layer. Nodes hear each other within a fixed transmission range; frames
+// take size/bandwidth transmission time plus a fixed per-frame overhead;
+// each node serializes its own transmissions (a half-duplex radio); frames
+// are lost when the receiver moves out of range mid-flight or by an
+// independent loss probability that models contention and fading.
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+
+	"manetskyline/internal/mobility"
+	"manetskyline/internal/sim"
+	"manetskyline/internal/tuple"
+)
+
+// NodeID identifies a radio node; IDs are dense and start at zero.
+type NodeID int
+
+// Payload is any message carried in a frame; only its serialized size
+// matters to the medium.
+type Payload interface {
+	// SizeBytes returns the payload's wire size.
+	SizeBytes() int
+}
+
+// Handler receives delivered frames.
+type Handler func(from NodeID, p Payload)
+
+// Config parameterizes the medium.
+type Config struct {
+	// Range is the transmission radius in meters (802.11b outdoors ≈ 250).
+	Range float64
+	// Bandwidth is the channel rate in bits per second (802.11b ≈ 2 Mb/s,
+	// the figure the paper cites when contrasting P2P links with cellular).
+	Bandwidth float64
+	// Overhead is the fixed per-frame latency in seconds: MAC contention,
+	// preamble, propagation.
+	Overhead float64
+	// HeaderBytes is added to every payload (MAC + network headers).
+	HeaderBytes int
+	// Loss is an independent per-frame loss probability.
+	Loss float64
+	// FadeMargin models fading at the cell edge: reception probability
+	// falls linearly from 1 at (1−FadeMargin)·Range to 0 at Range, instead
+	// of the unit disk's hard cut. Zero keeps the deterministic unit disk.
+	// Neighbour discovery still uses the full Range (a faded link exists,
+	// it is just unreliable) — the gray-zone effect real 802.11 radios
+	// exhibit.
+	FadeMargin float64
+}
+
+// DefaultConfig returns 802.11b-like settings. The 380 m range matches the
+// default free-space/two-ray radio of JiST/SWANS, the simulator the paper
+// used; 250 m (the ns-2 convention) leaves 9-device networks in a 1 km²
+// field partitioned almost all the time.
+func DefaultConfig() Config {
+	return Config{
+		Range:       380,
+		Bandwidth:   2e6,
+		Overhead:    0.002,
+		HeaderBytes: 48,
+		Loss:        0,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Range <= 0 {
+		return fmt.Errorf("radio: non-positive range %g", c.Range)
+	}
+	if c.Bandwidth <= 0 {
+		return fmt.Errorf("radio: non-positive bandwidth %g", c.Bandwidth)
+	}
+	if c.Overhead < 0 {
+		return fmt.Errorf("radio: negative overhead %g", c.Overhead)
+	}
+	if c.Loss < 0 || c.Loss >= 1 {
+		return fmt.Errorf("radio: loss probability %g outside [0,1)", c.Loss)
+	}
+	if c.FadeMargin < 0 || c.FadeMargin > 1 {
+		return fmt.Errorf("radio: fade margin %g outside [0,1]", c.FadeMargin)
+	}
+	return nil
+}
+
+// Counters aggregates medium activity. The query-message counts of the
+// paper's Figure 12 are derived from these by the manet layer.
+type Counters struct {
+	// FramesSent counts transmissions (a broadcast is one transmission).
+	FramesSent int
+	// Receptions counts successful frame deliveries.
+	Receptions int
+	// DroppedRange counts frames lost because the receiver left range
+	// between send and delivery.
+	DroppedRange int
+	// DroppedLoss counts frames lost to the random loss process.
+	DroppedLoss int
+	// BytesSent counts transmitted bytes including headers.
+	BytesSent int
+}
+
+// Medium is the shared wireless channel.
+type Medium struct {
+	eng   *sim.Engine
+	cfg   Config
+	nodes []*node
+	rng   *rand.Rand
+
+	// Counters is exported for metric collection; reset between scenarios
+	// if per-run deltas are needed.
+	Counters Counters
+}
+
+type node struct {
+	id        NodeID
+	mob       mobility.Model
+	handler   Handler
+	busyUntil float64
+}
+
+// New creates an empty medium on the given engine.
+func New(eng *sim.Engine, cfg Config) *Medium {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Medium{
+		eng: eng,
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(eng.RNG().Int63())),
+	}
+}
+
+// AddNode registers a node with its mobility model and frame handler and
+// returns its ID.
+func (m *Medium) AddNode(mob mobility.Model, h Handler) NodeID {
+	if h == nil {
+		panic("radio: nil handler")
+	}
+	id := NodeID(len(m.nodes))
+	m.nodes = append(m.nodes, &node{id: id, mob: mob, handler: h})
+	return id
+}
+
+// NumNodes returns the number of registered nodes.
+func (m *Medium) NumNodes() int { return len(m.nodes) }
+
+// PosOf returns a node's current position.
+func (m *Medium) PosOf(id NodeID) tuple.Point {
+	return m.nodes[id].mob.Pos(m.eng.Now())
+}
+
+// InRange reports whether two nodes can currently hear each other.
+func (m *Medium) InRange(a, b NodeID) bool {
+	if a == b {
+		return false
+	}
+	return m.PosOf(a).WithinDist(m.PosOf(b), m.cfg.Range)
+}
+
+// Neighbors returns the nodes currently within range of id, in ID order.
+func (m *Medium) Neighbors(id NodeID) []NodeID {
+	var out []NodeID
+	p := m.PosOf(id)
+	for _, n := range m.nodes {
+		if n.id == id {
+			continue
+		}
+		if p.WithinDist(n.mob.Pos(m.eng.Now()), m.cfg.Range) {
+			out = append(out, n.id)
+		}
+	}
+	return out
+}
+
+// txDelay computes the serialized transmission start and airtime for one
+// frame from the given node, advancing the node's busy horizon.
+func (m *Medium) txDelay(from *node, sizeBytes int) (start, airtime float64) {
+	bits := float64(sizeBytes+m.cfg.HeaderBytes) * 8
+	airtime = bits / m.cfg.Bandwidth
+	start = m.eng.Now()
+	if from.busyUntil > start {
+		start = from.busyUntil
+	}
+	from.busyUntil = start + airtime
+	return start, airtime
+}
+
+// Unicast queues one frame from -> to. It returns false without
+// transmitting when the receiver is out of range at send time — the
+// immediate link-break feedback AODV relies on. Delivery happens after
+// queueing, airtime, and overhead, unless the receiver moved out of range
+// meanwhile or the loss process discards the frame.
+func (m *Medium) Unicast(from, to NodeID, p Payload) bool {
+	if from == to {
+		panic("radio: self-addressed frame")
+	}
+	if !m.InRange(from, to) {
+		return false
+	}
+	src, dst := m.nodes[from], m.nodes[to]
+	start, airtime := m.txDelay(src, p.SizeBytes())
+	m.Counters.FramesSent++
+	m.Counters.BytesSent += p.SizeBytes() + m.cfg.HeaderBytes
+	deliverAt := start + airtime + m.cfg.Overhead
+	m.eng.At(deliverAt, func() {
+		if !m.received(from, to) {
+			return
+		}
+		m.Counters.Receptions++
+		dst.handler(from, p)
+	})
+	return true
+}
+
+// received decides, at delivery time, whether a frame from → to arrives:
+// hard range cut, then edge fading, then the independent loss process.
+func (m *Medium) received(from, to NodeID) bool {
+	d := m.PosOf(from).Dist(m.PosOf(to))
+	if d > m.cfg.Range {
+		m.Counters.DroppedRange++
+		return false
+	}
+	if m.cfg.FadeMargin > 0 {
+		edge := m.cfg.Range * (1 - m.cfg.FadeMargin)
+		if d > edge {
+			pRecv := (m.cfg.Range - d) / (m.cfg.Range - edge)
+			if m.rng.Float64() >= pRecv {
+				m.Counters.DroppedRange++
+				return false
+			}
+		}
+	}
+	if m.cfg.Loss > 0 && m.rng.Float64() < m.cfg.Loss {
+		m.Counters.DroppedLoss++
+		return false
+	}
+	return true
+}
+
+// Broadcast transmits one frame to every node currently in range and
+// returns how many receivers were addressed. The transmission is a single
+// busy period on the sender's radio; each addressed receiver independently
+// suffers range and loss drops at delivery time.
+func (m *Medium) Broadcast(from NodeID, p Payload) int {
+	src := m.nodes[from]
+	targets := m.Neighbors(from)
+	start, airtime := m.txDelay(src, p.SizeBytes())
+	m.Counters.FramesSent++
+	m.Counters.BytesSent += p.SizeBytes() + m.cfg.HeaderBytes
+	deliverAt := start + airtime + m.cfg.Overhead
+	for _, to := range targets {
+		to := to
+		m.eng.At(deliverAt, func() {
+			if !m.received(from, to) {
+				return
+			}
+			m.Counters.Receptions++
+			m.nodes[to].handler(from, p)
+		})
+	}
+	return len(targets)
+}
+
+// Config returns the medium configuration.
+func (m *Medium) Config() Config { return m.cfg }

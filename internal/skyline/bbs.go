@@ -1,0 +1,134 @@
+package skyline
+
+import (
+	"container/heap"
+
+	"manetskyline/internal/rtree"
+	"manetskyline/internal/tuple"
+)
+
+// BBS computes the skyline with the Branch-and-Bound Skyline algorithm of
+// Papadias et al. (SIGMOD 2003), the progressive state-of-the-art method
+// the paper's related-work section cites: index the attribute vectors in an
+// R-tree, expand entries in ascending order of the L1 distance of their
+// lower-left corner to the origin, and discard any entry whose corner is
+// dominated by an already reported skyline point. Every point is reported
+// exactly when popped, so the output is progressive and the algorithm is
+// I/O-optimal on the index.
+func BBS(ts []tuple.Tuple) []tuple.Tuple {
+	return BBSOnTree(ts, nil)
+}
+
+// BBSOnTree runs BBS against a prebuilt index over the same tuples' attrs
+// (pass nil to build one). Exposed so benchmarks can separate build cost
+// from query cost.
+func BBSOnTree(ts []tuple.Tuple, tree *rtree.Tree) []tuple.Tuple {
+	if len(ts) == 0 {
+		return nil
+	}
+	if tree == nil {
+		tree = BuildAttrTree(ts)
+	}
+
+	var sky []tuple.Tuple
+	// dominatedCorner reports whether a reported skyline point is strictly
+	// better than the given lower-left corner on EVERY attribute. Only then
+	// is discarding safe here: any point p inside the box satisfies p ≥
+	// corner, so an all-strict winner dominates p outright. The textbook
+	// ≤-with-one-< test would also discard a box holding a distinct site
+	// with attributes identical to a reported point — and such a site is a
+	// legitimate skyline member under this system's semantics.
+	dominatedCorner := func(p []float64) bool {
+		for _, s := range sky {
+			if strictlyLessVec(s.Attrs, p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	pq := &bbsHeap{}
+	heap.Push(pq, bbsItem{key: tree.Root().Box.MinSum(), node: tree.Root()})
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(bbsItem)
+		if it.node != nil {
+			if dominatedCorner(it.node.Box.Min) {
+				continue
+			}
+			if it.node.Leaf() {
+				for _, e := range it.node.Entries {
+					heap.Push(pq, bbsItem{key: sum(e.Point), entry: &ts[e.Item]})
+				}
+			} else {
+				for _, c := range it.node.Children {
+					if !dominatedCorner(c.Box.Min) {
+						heap.Push(pq, bbsItem{key: c.Box.MinSum(), node: c})
+					}
+				}
+			}
+			continue
+		}
+		// A point: it is skyline unless some reported point strictly
+		// dominates it. Points pop in ascending attribute-sum order, so no
+		// later point can dominate an earlier one.
+		p := *it.entry
+		dominated := false
+		for _, s := range sky {
+			if s.Dominates(p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			sky = append(sky, p)
+		}
+	}
+	return sky
+}
+
+// BuildAttrTree indexes the tuples' attribute vectors for BBS.
+func BuildAttrTree(ts []tuple.Tuple) *rtree.Tree {
+	pts := make([][]float64, len(ts))
+	for i, t := range ts {
+		pts[i] = t.Attrs
+	}
+	return rtree.Build(pts, 0)
+}
+
+// strictlyLessVec reports a < b on every coordinate.
+func strictlyLessVec(a, b []float64) bool {
+	for i, v := range a {
+		if v >= b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sum(p []float64) float64 {
+	s := 0.0
+	for _, v := range p {
+		s += v
+	}
+	return s
+}
+
+type bbsItem struct {
+	key   float64
+	node  *rtree.Node  // non-nil for index entries
+	entry *tuple.Tuple // non-nil for points
+}
+
+type bbsHeap []bbsItem
+
+func (h bbsHeap) Len() int           { return len(h) }
+func (h bbsHeap) Less(i, j int) bool { return h[i].key < h[j].key }
+func (h bbsHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *bbsHeap) Push(x any)        { *h = append(*h, x.(bbsItem)) }
+func (h *bbsHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,108 @@
+package skyline
+
+import (
+	"testing"
+
+	"manetskyline/internal/gen"
+	"manetskyline/internal/tuple"
+)
+
+func TestBBSAndBitmapAgreeWithBNL(t *testing.T) {
+	for _, dist := range []gen.Distribution{gen.Independent, gen.AntiCorrelated, gen.Correlated} {
+		for _, dim := range []int{1, 2, 3, 4} {
+			for seed := int64(0); seed < 3; seed++ {
+				c := gen.DefaultConfig(500, dim, dist, seed)
+				c.Distinct = 15 // coarse: many exact ties and duplicate vectors
+				data := gen.Generate(c)
+				want := BNL(data)
+				if got := BBS(data); !SetEqual(want, got) {
+					t.Errorf("BBS %v dim=%d seed=%d: %d tuples vs BNL %d",
+						dist, dim, seed, len(got), len(want))
+				}
+				if got := Bitmap(data); !SetEqual(want, got) {
+					t.Errorf("Bitmap %v dim=%d seed=%d: %d tuples vs BNL %d",
+						dist, dim, seed, len(got), len(want))
+				}
+				if got := NN(data); !SetEqual(want, got) {
+					t.Errorf("NN %v dim=%d seed=%d: %d tuples vs BNL %d",
+						dist, dim, seed, len(got), len(want))
+				}
+				if got := Index(data); !SetEqual(want, got) {
+					t.Errorf("Index %v dim=%d seed=%d: %d tuples vs BNL %d",
+						dist, dim, seed, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+func TestBBSPaperExample(t *testing.T) {
+	want := BNL(hotelsR1())
+	if got := BBS(hotelsR1()); !SetEqual(want, got) {
+		t.Errorf("BBS(R1) = %v, want %v", got, want)
+	}
+	if got := Bitmap(hotelsR2()); !SetEqual(BNL(hotelsR2()), got) {
+		t.Errorf("Bitmap(R2) = %v", got)
+	}
+}
+
+func TestBBSEmptyAndSingleton(t *testing.T) {
+	if got := BBS(nil); len(got) != 0 {
+		t.Errorf("BBS(nil) = %v", got)
+	}
+	if got := Bitmap(nil); len(got) != 0 {
+		t.Errorf("Bitmap(nil) = %v", got)
+	}
+	if got := NN(nil); len(got) != 0 {
+		t.Errorf("NN(nil) = %v", got)
+	}
+	if got := Index(nil); len(got) != 0 {
+		t.Errorf("Index(nil) = %v", got)
+	}
+	one := []tuple.Tuple{tp(0, 0, 3, 3)}
+	if got := BBS(one); len(got) != 1 {
+		t.Errorf("BBS singleton = %v", got)
+	}
+	if got := Bitmap(one); len(got) != 1 {
+		t.Errorf("Bitmap singleton = %v", got)
+	}
+}
+
+func TestBBSKeepsDuplicateVectors(t *testing.T) {
+	data := []tuple.Tuple{
+		tp(0, 0, 1, 1),
+		tp(9, 9, 1, 1), // distinct site, same vector
+		tp(5, 5, 0.5, 3),
+		tp(7, 7, 2, 2), // dominated by both (1,1) sites
+	}
+	for name, f := range map[string]func([]tuple.Tuple) []tuple.Tuple{
+		"BBS": BBS, "Bitmap": Bitmap, "NN": NN, "Index": Index,
+	} {
+		got := f(data)
+		if len(got) != 3 {
+			t.Errorf("%s: got %d tuples (%v), want both duplicate-vector sites kept", name, len(got), got)
+		}
+	}
+}
+
+// BBS is progressive: the skyline points come out in ascending attribute-sum
+// order.
+func TestBBSProgressiveOrder(t *testing.T) {
+	data := gen.Generate(gen.DefaultConfig(2000, 2, gen.AntiCorrelated, 5))
+	got := BBS(data)
+	for i := 1; i < len(got); i++ {
+		if sum(got[i].Attrs) < sum(got[i-1].Attrs)-1e-9 {
+			t.Fatalf("BBS output not in ascending sum order at %d", i)
+		}
+	}
+}
+
+func TestBBSOnPrebuiltTree(t *testing.T) {
+	data := gen.Generate(gen.DefaultConfig(1500, 3, gen.Independent, 9))
+	tree := BuildAttrTree(data)
+	a := BBSOnTree(data, tree)
+	b := BBSOnTree(data, tree) // the tree is read-only and reusable
+	if !SetEqual(a, b) || !SetEqual(a, BNL(data)) {
+		t.Errorf("prebuilt-tree BBS inconsistent")
+	}
+}

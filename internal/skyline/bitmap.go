@@ -1,0 +1,101 @@
+package skyline
+
+import (
+	"sort"
+
+	"manetskyline/internal/tuple"
+)
+
+// Bitmap computes the skyline with the bitmap algorithm of Tan et al.
+// (VLDB 2001), another related-work baseline: every attribute is
+// rank-encoded against its sorted distinct values, and for each rank two
+// bit-slices are maintained — tuples with value ≤ that rank and tuples with
+// value < that rank. A tuple t is dominated exactly when some other tuple
+// is ≤ t on every attribute AND < t on at least one, i.e. when
+//
+//	C(t) = (∧_j LEQ_j(t)) ∧ (∨_j LT_j(t))
+//
+// has a bit set besides t's own possible membership. Bit-parallelism makes
+// each test O(n·dim/64) words.
+//
+// The method shines when attribute domains are small (the paper's devices
+// use 100-value domains); memory grows with Σ_j distinct_j × n/64 bits.
+func Bitmap(ts []tuple.Tuple) []tuple.Tuple {
+	n := len(ts)
+	if n == 0 {
+		return nil
+	}
+	dim := ts[0].Dim()
+	words := (n + 63) / 64
+
+	// Rank-encode every attribute.
+	ranks := make([][]int, dim)    // [attr][tuple] rank
+	leq := make([][][]uint64, dim) // [attr][rank] bitmap of tuples with value ≤ rank's value
+	for j := 0; j < dim; j++ {
+		vals := make([]float64, n)
+		for i, t := range ts {
+			vals[i] = t.Attrs[j]
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		distinct := sorted[:0]
+		for i, v := range sorted {
+			if i == 0 || v != sorted[i-1] {
+				distinct = append(distinct, v)
+			}
+		}
+		domain := append([]float64(nil), distinct...)
+
+		ranks[j] = make([]int, n)
+		leq[j] = make([][]uint64, len(domain))
+		for r := range leq[j] {
+			leq[j][r] = make([]uint64, words)
+		}
+		for i, v := range vals {
+			r := sort.SearchFloat64s(domain, v)
+			ranks[j][i] = r
+			leq[j][r][i/64] |= 1 << (i % 64)
+		}
+		// Prefix-or so leq[j][r] covers every rank ≤ r.
+		for r := 1; r < len(domain); r++ {
+			for w := 0; w < words; w++ {
+				leq[j][r][w] |= leq[j][r-1][w]
+			}
+		}
+	}
+
+	and := make([]uint64, words)
+	or := make([]uint64, words)
+	var sky []tuple.Tuple
+	for i := 0; i < n; i++ {
+		// AND of ≤-slices and OR of <-slices across attributes.
+		for w := range and {
+			and[w] = ^uint64(0)
+			or[w] = 0
+		}
+		for j := 0; j < dim; j++ {
+			r := ranks[j][i]
+			leqSlice := leq[j][r]
+			for w := 0; w < words; w++ {
+				and[w] &= leqSlice[w]
+			}
+			if r > 0 {
+				ltSlice := leq[j][r-1]
+				for w := 0; w < words; w++ {
+					or[w] |= ltSlice[w]
+				}
+			}
+		}
+		dominated := false
+		for w := 0; w < words; w++ {
+			if and[w]&or[w] != 0 {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			sky = append(sky, ts[i])
+		}
+	}
+	return sky
+}

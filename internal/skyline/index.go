@@ -1,0 +1,68 @@
+package skyline
+
+import (
+	"sort"
+
+	"manetskyline/internal/tuple"
+)
+
+// Index computes the skyline with the index method of Tan et al.
+// (VLDB 2001): every tuple is assigned to the list of its minimum
+// attribute, lists are ordered by that minimum value, and processing visits
+// batches in globally increasing minimum value. A batch's survivors are
+// found by an intra-batch skyline plus a dominance check against the
+// already-accepted skyline; accepted tuples are never evicted, because a
+// tuple can only be dominated by one with a strictly smaller — or in ties,
+// equal — minimum value, which has then already been processed.
+//
+// The original uses the structure progressively over B⁺-trees; this
+// in-memory form keeps the algorithmic core (minC partitioning, batch
+// processing, early dominance) as another related-work baseline.
+func Index(ts []tuple.Tuple) []tuple.Tuple {
+	if len(ts) == 0 {
+		return nil
+	}
+	type entry struct {
+		idx  int
+		minC float64
+	}
+	entries := make([]entry, len(ts))
+	for i, t := range ts {
+		m := t.Attrs[0]
+		for _, v := range t.Attrs[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		entries[i] = entry{idx: i, minC: m}
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].minC < entries[j].minC })
+
+	var sky []tuple.Tuple
+	for start := 0; start < len(entries); {
+		end := start
+		for end < len(entries) && entries[end].minC == entries[start].minC {
+			end++
+		}
+		// Intra-batch skyline first: equal-minC tuples can dominate each
+		// other.
+		batch := make([]tuple.Tuple, 0, end-start)
+		for _, e := range entries[start:end] {
+			batch = append(batch, ts[e.idx])
+		}
+		for _, cand := range BNL(batch) {
+			dominated := false
+			for _, s := range sky {
+				if s.Dominates(cand) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				sky = append(sky, cand)
+			}
+		}
+		start = end
+	}
+	return sky
+}

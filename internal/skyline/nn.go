@@ -1,0 +1,175 @@
+package skyline
+
+import (
+	"container/heap"
+	"math"
+
+	"manetskyline/internal/rtree"
+	"manetskyline/internal/tuple"
+)
+
+// NN computes the skyline with the nearest-neighbor algorithm of Kossmann
+// et al. (VLDB 2002), the third progressive baseline from the paper's
+// related work: repeatedly find the point nearest the origin (by attribute
+// sum) inside a candidate region, report it as a skyline member, and split
+// the region into one sub-region per dimension — points better than the
+// found point on that dimension — maintaining a to-do list of regions until
+// all are exhausted. Points discovered through several regions are
+// deduplicated.
+//
+// The classic formulation splits with strict inequalities, which loses
+// distinct sites whose attribute vectors exactly tie a reported point; this
+// implementation restores them with a final equality pass so the result
+// matches the repository-wide skyline semantics.
+func NN(ts []tuple.Tuple) []tuple.Tuple {
+	if len(ts) == 0 {
+		return nil
+	}
+	dim := ts[0].Dim()
+	tree := BuildAttrTree(ts)
+
+	type region struct {
+		hi []float64 // exclusive upper bounds per attribute
+	}
+	inf := make([]float64, dim)
+	for i := range inf {
+		inf[i] = math.Inf(1)
+	}
+	todo := []region{{hi: inf}}
+
+	reported := map[int]bool{} // tuple index → already in the skyline
+	var sky []tuple.Tuple
+	var skyIdx []int
+
+	for len(todo) > 0 {
+		r := todo[len(todo)-1]
+		todo = todo[:len(todo)-1]
+		idx, ok := nnInRegion(tree, r.hi)
+		if !ok {
+			continue
+		}
+		if !reported[idx] {
+			reported[idx] = true
+			sky = append(sky, ts[idx])
+			skyIdx = append(skyIdx, idx)
+		}
+		// Split: one sub-region per dimension, strictly better than the
+		// found point on that dimension.
+		p := ts[idx].Attrs
+		for j := 0; j < dim; j++ {
+			if p[j] <= attrFloor(tree, j) {
+				continue // empty by construction
+			}
+			hi := append([]float64(nil), r.hi...)
+			if p[j] < hi[j] {
+				hi[j] = p[j]
+			}
+			todo = append(todo, region{hi: hi})
+		}
+	}
+
+	// Equality pass: distinct sites tying a reported vector are skyline
+	// members too.
+	for i, t := range ts {
+		if reported[i] {
+			continue
+		}
+		for _, k := range skyIdx {
+			if vecEqual(t.Attrs, ts[k].Attrs) {
+				reported[i] = true
+				sky = append(sky, t)
+				break
+			}
+		}
+	}
+	return sky
+}
+
+// attrFloor returns the smallest value of attribute j in the tree.
+func attrFloor(t *rtree.Tree, j int) float64 {
+	if t.Root() == nil {
+		return math.Inf(1)
+	}
+	return t.Root().Box.Min[j]
+}
+
+func vecEqual(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// nnInRegion finds the tuple with the minimum attribute sum whose vector is
+// strictly below hi on every attribute, via best-first search on the tree.
+func nnInRegion(t *rtree.Tree, hi []float64) (int, bool) {
+	if t.Root() == nil {
+		return 0, false
+	}
+	pq := &nnHeap{}
+	if boxIntersects(t.Root().Box, hi) {
+		heap.Push(pq, nnItem{key: t.Root().Box.MinSum(), node: t.Root()})
+	}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nnItem)
+		if it.node == nil {
+			return it.item, true
+		}
+		if it.node.Leaf() {
+			for _, e := range it.node.Entries {
+				if pointBelow(e.Point, hi) {
+					heap.Push(pq, nnItem{key: sum(e.Point), item: e.Item})
+				}
+			}
+			continue
+		}
+		for _, c := range it.node.Children {
+			if boxIntersects(c.Box, hi) {
+				heap.Push(pq, nnItem{key: c.Box.MinSum(), node: c})
+			}
+		}
+	}
+	return 0, false
+}
+
+// boxIntersects reports whether the box could contain a point strictly
+// below hi on every attribute.
+func boxIntersects(b rtree.MBR, hi []float64) bool {
+	for j := range hi {
+		if b.Min[j] >= hi[j] {
+			return false
+		}
+	}
+	return true
+}
+
+func pointBelow(p, hi []float64) bool {
+	for j := range hi {
+		if p[j] >= hi[j] {
+			return false
+		}
+	}
+	return true
+}
+
+type nnItem struct {
+	key  float64
+	node *rtree.Node
+	item int
+}
+
+type nnHeap []nnItem
+
+func (h nnHeap) Len() int           { return len(h) }
+func (h nnHeap) Less(i, j int) bool { return h[i].key < h[j].key }
+func (h nnHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x any)        { *h = append(*h, x.(nnItem)) }
+func (h *nnHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,216 @@
+package storage
+
+import (
+	"sort"
+
+	"manetskyline/internal/tuple"
+)
+
+// Domain is the domain storage model of Ammann et al. that §4.1 rejects:
+// every attribute of every tuple holds a pointer (here an index) into a
+// per-attribute domain array kept in *insertion* order. Shared values are
+// stored once, but because the domain is unsorted, every comparison must
+// dereference the pointer to reach the raw value, and finding domain bounds
+// requires a scan. The model exists in this repository to quantify the
+// paper's prose argument for hybrid storage.
+type Domain struct {
+	pos     []tuple.Point
+	domains [][]float64 // [attr] distinct values in first-seen order
+	refs    [][]int32   // [attr][tuple] index into domains[attr]
+	dim     int
+	mbr     tuple.Rect
+	lo, hi  []float64
+}
+
+// NewDomain builds a domain-storage relation preserving input order.
+func NewDomain(ts []tuple.Tuple) *Domain {
+	dim := checkBuild(ts)
+	d := &Domain{
+		pos:     make([]tuple.Point, len(ts)),
+		domains: make([][]float64, dim),
+		refs:    make([][]int32, dim),
+		dim:     dim,
+		mbr:     tuple.BoundingRect(ts),
+	}
+	for j := 0; j < dim; j++ {
+		d.refs[j] = make([]int32, len(ts))
+		seen := map[float64]int32{}
+		for i, t := range ts {
+			v := t.Attrs[j]
+			idx, ok := seen[v]
+			if !ok {
+				idx = int32(len(d.domains[j]))
+				seen[v] = idx
+				d.domains[j] = append(d.domains[j], v)
+			}
+			d.refs[j][i] = idx
+		}
+	}
+	for i, t := range ts {
+		d.pos[i] = t.Pos()
+	}
+	d.lo, d.hi = bounds(ts, dim)
+	return d
+}
+
+// Len returns the number of tuples.
+func (d *Domain) Len() int { return len(d.pos) }
+
+// Dim returns the attribute count.
+func (d *Domain) Dim() int { return d.dim }
+
+// Pos returns the position of tuple i.
+func (d *Domain) Pos(i int) tuple.Point { return d.pos[i] }
+
+// Value dereferences the value pointer of attribute j of tuple i.
+func (d *Domain) Value(i, j int) float64 { return d.domains[j][d.refs[j][i]] }
+
+// Tuple materializes tuple i.
+func (d *Domain) Tuple(i int) tuple.Tuple {
+	attrs := make([]float64, d.dim)
+	for j := range attrs {
+		attrs[j] = d.Value(i, j)
+	}
+	return tuple.Tuple{X: d.pos[i].X, Y: d.pos[i].Y, Attrs: attrs}
+}
+
+// MBR returns the bounding rectangle of all positions.
+func (d *Domain) MBR() tuple.Rect { return d.mbr }
+
+// AttrMin returns the smallest stored value of attribute j (precomputed at
+// build; a genuine lightweight device would scan the unsorted domain).
+func (d *Domain) AttrMin(j int) float64 { return d.lo[j] }
+
+// AttrMax returns the largest stored value of attribute j.
+func (d *Domain) AttrMax(j int) float64 { return d.hi[j] }
+
+// MemBytes counts positions, 4-byte value pointers, and domain arrays.
+func (d *Domain) MemBytes() int {
+	b := len(d.pos) * 16
+	for j := 0; j < d.dim; j++ {
+		b += 4 * len(d.refs[j])
+		b += 8 * len(d.domains[j])
+	}
+	return b
+}
+
+// Model returns "domain".
+func (d *Domain) Model() string { return "domain" }
+
+// Ring is the PicoDBMS ring storage model that §4.1 rejects: all tuples
+// sharing an attribute value form a singly linked ring through that
+// attribute's link column, and exactly one element of the ring points at
+// the shared value. Reading an attribute therefore walks the ring until it
+// reaches the value pointer — cheap to store, expensive to read, which is
+// what disqualifies it for comparison-heavy skyline processing.
+type Ring struct {
+	pos  []tuple.Point
+	vals [][]float64 // [attr] distinct values, sorted (ring heads)
+	// link[j][i] >= 0 is the next tuple in tuple i's ring for attribute j;
+	// link[j][i] == -(v+1) terminates the ring at value index v.
+	link   [][]int32
+	dim    int
+	mbr    tuple.Rect
+	lo, hi []float64
+}
+
+// NewRing builds a ring-storage relation preserving input order.
+func NewRing(ts []tuple.Tuple) *Ring {
+	dim := checkBuild(ts)
+	r := &Ring{
+		pos:  make([]tuple.Point, len(ts)),
+		vals: make([][]float64, dim),
+		link: make([][]int32, dim),
+		dim:  dim,
+		mbr:  tuple.BoundingRect(ts),
+	}
+	for i, t := range ts {
+		r.pos[i] = t.Pos()
+	}
+	for j := 0; j < dim; j++ {
+		// Sorted distinct values.
+		vals := make([]float64, 0, len(ts))
+		for _, t := range ts {
+			vals = append(vals, t.Attrs[j])
+		}
+		sort.Float64s(vals)
+		distinct := vals[:0]
+		for i, v := range vals {
+			if i == 0 || v != vals[i-1] {
+				distinct = append(distinct, v)
+			}
+		}
+		r.vals[j] = append([]float64(nil), distinct...)
+
+		// Chain tuples with equal values; the last points at the value.
+		r.link[j] = make([]int32, len(ts))
+		lastOf := make([]int32, len(r.vals[j]))
+		for v := range lastOf {
+			lastOf[v] = -1
+		}
+		// Build backwards so each tuple links to the next occurrence.
+		for i := len(ts) - 1; i >= 0; i-- {
+			v := int32(sort.SearchFloat64s(r.vals[j], ts[i].Attrs[j]))
+			if lastOf[v] < 0 {
+				r.link[j][i] = -(v + 1) // ring tail: external value pointer
+			} else {
+				r.link[j][i] = lastOf[v]
+			}
+			lastOf[v] = int32(i)
+		}
+	}
+	r.lo, r.hi = bounds(ts, dim)
+	return r
+}
+
+// Len returns the number of tuples.
+func (r *Ring) Len() int { return len(r.pos) }
+
+// Dim returns the attribute count.
+func (r *Ring) Dim() int { return r.dim }
+
+// Pos returns the position of tuple i.
+func (r *Ring) Pos(i int) tuple.Point { return r.pos[i] }
+
+// Value walks tuple i's ring for attribute j until it reaches the external
+// value pointer. The walk is what makes ring storage slow for skyline
+// processing (§4.1).
+func (r *Ring) Value(i, j int) float64 {
+	at := int32(i)
+	for r.link[j][at] >= 0 {
+		at = r.link[j][at]
+	}
+	return r.vals[j][-r.link[j][at]-1]
+}
+
+// Tuple materializes tuple i.
+func (r *Ring) Tuple(i int) tuple.Tuple {
+	attrs := make([]float64, r.dim)
+	for j := range attrs {
+		attrs[j] = r.Value(i, j)
+	}
+	return tuple.Tuple{X: r.pos[i].X, Y: r.pos[i].Y, Attrs: attrs}
+}
+
+// MBR returns the bounding rectangle of all positions.
+func (r *Ring) MBR() tuple.Rect { return r.mbr }
+
+// AttrMin returns the smallest stored value of attribute j in O(1); ring
+// domains are sorted here.
+func (r *Ring) AttrMin(j int) float64 { return r.lo[j] }
+
+// AttrMax returns the largest stored value of attribute j.
+func (r *Ring) AttrMax(j int) float64 { return r.hi[j] }
+
+// MemBytes counts positions, 4-byte ring links, and value arrays.
+func (r *Ring) MemBytes() int {
+	b := len(r.pos) * 16
+	for j := 0; j < r.dim; j++ {
+		b += 4 * len(r.link[j])
+		b += 8 * len(r.vals[j])
+	}
+	return b
+}
+
+// Model returns "ring".
+func (r *Ring) Model() string { return "ring" }

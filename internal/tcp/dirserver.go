@@ -1,0 +1,220 @@
+package tcp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"manetskyline/internal/core"
+)
+
+// Resolver maps device IDs to addresses; Peer uses it to reach originators
+// and neighbours. Directory is the in-process implementation;
+// DirectoryClient resolves against a DirectoryServer over TCP, which is
+// what separate skypeer processes use.
+type Resolver interface {
+	// Register records a peer's address.
+	Register(id core.DeviceID, addr string)
+	// Lookup resolves a peer's address.
+	Lookup(id core.DeviceID) (string, bool)
+}
+
+// dirRequest is the JSON request of the directory protocol (one request and
+// one response per connection).
+type dirRequest struct {
+	Op   string `json:"op"` // "register", "lookup", "list"
+	ID   int    `json:"id,omitempty"`
+	Addr string `json:"addr,omitempty"`
+}
+
+// dirResponse is the JSON response.
+type dirResponse struct {
+	OK    bool              `json:"ok"`
+	Error string            `json:"error,omitempty"`
+	Addr  string            `json:"addr,omitempty"`
+	Peers map[string]string `json:"peers,omitempty"`
+}
+
+// DirectoryServer serves a Directory over TCP — the bootstrap/rendezvous
+// component of a multi-process deployment.
+type DirectoryServer struct {
+	dir *Directory
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewDirectoryServer starts serving on addr ("127.0.0.1:0" for an
+// ephemeral port).
+func NewDirectoryServer(addr string) (*DirectoryServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &DirectoryServer{dir: NewDirectory(), ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *DirectoryServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *DirectoryServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *DirectoryServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *DirectoryServer) serve(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	var req dirRequest
+	if err := json.NewDecoder(conn).Decode(&req); err != nil {
+		return
+	}
+	enc := json.NewEncoder(conn)
+	switch req.Op {
+	case "register":
+		s.dir.Register(core.DeviceID(req.ID), req.Addr)
+		enc.Encode(dirResponse{OK: true})
+	case "lookup":
+		addr, ok := s.dir.Lookup(core.DeviceID(req.ID))
+		if !ok {
+			enc.Encode(dirResponse{OK: false, Error: "unknown peer"})
+			return
+		}
+		enc.Encode(dirResponse{OK: true, Addr: addr})
+	case "list":
+		s.dir.mu.RLock()
+		peers := make(map[string]string, len(s.dir.addrs))
+		for id, addr := range s.dir.addrs {
+			peers[strconv.Itoa(int(id))] = addr
+		}
+		s.dir.mu.RUnlock()
+		enc.Encode(dirResponse{OK: true, Peers: peers})
+	default:
+		enc.Encode(dirResponse{OK: false, Error: fmt.Sprintf("unknown op %q", req.Op)})
+	}
+}
+
+// DirectoryClient resolves peers against a remote DirectoryServer.
+type DirectoryClient struct {
+	addr    string
+	timeout time.Duration
+
+	mu    sync.Mutex
+	cache map[core.DeviceID]string
+}
+
+// NewDirectoryClient points at a DirectoryServer address.
+func NewDirectoryClient(addr string) *DirectoryClient {
+	return &DirectoryClient{
+		addr:    addr,
+		timeout: 2 * time.Second,
+		cache:   make(map[core.DeviceID]string),
+	}
+}
+
+// roundTrip performs one request against the server.
+func (c *DirectoryClient) roundTrip(req dirRequest) (dirResponse, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return dirResponse{}, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(c.timeout))
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return dirResponse{}, err
+	}
+	var resp dirResponse
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		return dirResponse{}, err
+	}
+	return resp, nil
+}
+
+// Register records this peer with the remote directory. Failures are
+// surfaced via RegisterErr for callers that need them; the Resolver
+// interface's Register stays fire-and-forget.
+func (c *DirectoryClient) Register(id core.DeviceID, addr string) {
+	c.RegisterErr(id, addr)
+}
+
+// RegisterErr is Register with an error result.
+func (c *DirectoryClient) RegisterErr(id core.DeviceID, addr string) error {
+	resp, err := c.roundTrip(dirRequest{Op: "register", ID: int(id), Addr: addr})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("tcp: directory rejected registration: %s", resp.Error)
+	}
+	return nil
+}
+
+// Lookup resolves a peer, caching successful answers (peers re-register if
+// they move; the demo deployment's addresses are stable).
+func (c *DirectoryClient) Lookup(id core.DeviceID) (string, bool) {
+	c.mu.Lock()
+	if addr, ok := c.cache[id]; ok {
+		c.mu.Unlock()
+		return addr, true
+	}
+	c.mu.Unlock()
+	resp, err := c.roundTrip(dirRequest{Op: "lookup", ID: int(id)})
+	if err != nil || !resp.OK {
+		return "", false
+	}
+	c.mu.Lock()
+	c.cache[id] = resp.Addr
+	c.mu.Unlock()
+	return resp.Addr, true
+}
+
+// List returns every registered peer.
+func (c *DirectoryClient) List() (map[core.DeviceID]string, error) {
+	resp, err := c.roundTrip(dirRequest{Op: "list"})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("tcp: directory list failed: %s", resp.Error)
+	}
+	out := make(map[core.DeviceID]string, len(resp.Peers))
+	for k, v := range resp.Peers {
+		id, err := strconv.Atoi(k)
+		if err != nil {
+			return nil, fmt.Errorf("tcp: bad peer id %q in directory response", k)
+		}
+		out[core.DeviceID(id)] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"manetskyline/internal/core"
+	"manetskyline/internal/gen"
+	"manetskyline/internal/skyline"
+)
+
+func TestDirectoryServerRegisterLookupList(t *testing.T) {
+	srv, err := NewDirectoryServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewDirectoryServer: %v", err)
+	}
+	defer srv.Close()
+
+	c := NewDirectoryClient(srv.Addr())
+	if _, ok := c.Lookup(7); ok {
+		t.Errorf("lookup before registration should miss")
+	}
+	if err := c.RegisterErr(7, "127.0.0.1:1111"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := c.RegisterErr(8, "127.0.0.1:2222"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if addr, ok := c.Lookup(7); !ok || addr != "127.0.0.1:1111" {
+		t.Errorf("Lookup(7) = %q %v", addr, ok)
+	}
+	// Cache hit path.
+	if addr, ok := c.Lookup(7); !ok || addr != "127.0.0.1:1111" {
+		t.Errorf("cached Lookup(7) = %q %v", addr, ok)
+	}
+	all, err := c.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(all) != 2 || all[8] != "127.0.0.1:2222" {
+		t.Errorf("List = %v", all)
+	}
+}
+
+func TestDirectoryClientAgainstDeadServer(t *testing.T) {
+	c := NewDirectoryClient("127.0.0.1:1") // nothing listens there
+	c.timeout = 200 * time.Millisecond
+	if err := c.RegisterErr(1, "x"); err == nil {
+		t.Errorf("register against dead server should error")
+	}
+	if _, ok := c.Lookup(1); ok {
+		t.Errorf("lookup against dead server should miss")
+	}
+	if _, err := c.List(); err == nil {
+		t.Errorf("list against dead server should error")
+	}
+}
+
+// Full multi-process shape in one process: peers resolve each other through
+// a DirectoryServer over TCP, and the distributed query still matches the
+// centralized skyline.
+func TestPeersThroughDirectoryServer(t *testing.T) {
+	srv, err := NewDirectoryServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewDirectoryServer: %v", err)
+	}
+	defer srv.Close()
+
+	cfg := gen.DefaultConfig(2000, 2, gen.Independent, 13)
+	data := gen.Generate(cfg)
+	parts := gen.GridPartition(data, 2, cfg.Space)
+	peers := make([]*Peer, len(parts))
+	for i, part := range parts {
+		pos := gen.CellRect(i/2, i%2, 2, cfg.Space).Center()
+		// Each peer gets its own client, as separate processes would.
+		p, err := NewPeer(core.DeviceID(i), part, cfg.Schema(), core.Under, true,
+			pos, NewDirectoryClient(srv.Addr()), DefaultConfig())
+		if err != nil {
+			t.Fatalf("NewPeer %d: %v", i, err)
+		}
+		defer p.Close()
+		peers[i] = p
+	}
+	for i, p := range peers {
+		for j := range peers {
+			if i != j {
+				p.AddNeighbor(core.DeviceID(j))
+			}
+		}
+	}
+	res, err := peers[0].Query(600, len(peers))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !res.Complete {
+		t.Fatalf("query through directory server incomplete: %d results", res.Results)
+	}
+	want := skyline.Constrained(data, peers[0].Pos(), 600)
+	if !skyline.SetEqual(res.Skyline, want) {
+		t.Errorf("got %d tuples, want %d", len(res.Skyline), len(want))
+	}
+}
+
+func TestDirectoryServerBadRequests(t *testing.T) {
+	srv, err := NewDirectoryServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewDirectoryServer: %v", err)
+	}
+	defer srv.Close()
+	c := NewDirectoryClient(srv.Addr())
+	resp, err := c.roundTrip(dirRequest{Op: "bogus"})
+	if err != nil {
+		t.Fatalf("roundTrip: %v", err)
+	}
+	if resp.OK {
+		t.Errorf("bogus op should be rejected")
+	}
+	srv.Close()
+	srv.Close() // idempotent
+}

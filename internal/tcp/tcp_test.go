@@ -1,0 +1,176 @@
+package tcp
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"manetskyline/internal/core"
+	"manetskyline/internal/gen"
+	"manetskyline/internal/skyline"
+	"manetskyline/internal/tuple"
+)
+
+// buildPeers starts a g×g network of TCP peers over a fresh dataset, linked
+// by grid adjacency.
+func buildPeers(t *testing.T, cfg Config, n, dim, g int, seed int64) ([]*Peer, []tuple.Tuple, func()) {
+	t.Helper()
+	c := gen.DefaultConfig(n, dim, gen.Independent, seed)
+	data := gen.Generate(c)
+	parts := gen.GridPartition(data, g, c.Space)
+	dir := NewDirectory()
+	peers := make([]*Peer, len(parts))
+	for i, part := range parts {
+		pos := gen.CellRect(i/g, i%g, g, c.Space).Center()
+		p, err := NewPeer(core.DeviceID(i), part, c.Schema(), core.Under, true, pos, dir, cfg)
+		if err != nil {
+			t.Fatalf("NewPeer %d: %v", i, err)
+		}
+		peers[i] = p
+	}
+	for r := 0; r < g; r++ {
+		for col := 0; col < g; col++ {
+			i := r*g + col
+			if col < g-1 {
+				peers[i].AddNeighbor(peers[i+1].ID())
+				peers[i+1].AddNeighbor(peers[i].ID())
+			}
+			if r < g-1 {
+				peers[i].AddNeighbor(peers[i+g].ID())
+				peers[i+g].AddNeighbor(peers[i].ID())
+			}
+		}
+	}
+	cleanup := func() {
+		for _, p := range peers {
+			p.Close()
+		}
+	}
+	return peers, data, cleanup
+}
+
+func TestQueryOverRealSockets(t *testing.T) {
+	peers, data, cleanup := buildPeers(t, DefaultConfig(), 3000, 2, 3, 5)
+	defer cleanup()
+	for _, org := range []int{0, 4, 8} {
+		res, err := peers[org].Query(500, len(peers))
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		if !res.Complete {
+			t.Fatalf("org %d: incomplete (%d results)", org, res.Results)
+		}
+		want := skyline.Constrained(data, peers[org].Pos(), 500)
+		if !skyline.SetEqual(res.Skyline, want) {
+			t.Errorf("org %d: got %d tuples, want %d", org, len(res.Skyline), len(want))
+		}
+	}
+}
+
+func TestConcurrentQueriesOverSockets(t *testing.T) {
+	peers, data, cleanup := buildPeers(t, DefaultConfig(), 2000, 3, 2, 7)
+	defer cleanup()
+	var wg sync.WaitGroup
+	errs := make(chan string, len(peers))
+	for _, p := range peers {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := p.Query(600, len(peers))
+			if err != nil || !res.Complete {
+				errs <- "incomplete or failed"
+				return
+			}
+			want := skyline.Constrained(data, p.Pos(), 600)
+			if !skyline.SetEqual(res.Skyline, want) {
+				errs <- "wrong result"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+func TestDeadNeighborToleratedViaTimeout(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueryTimeout = 300 * time.Millisecond
+	peers, _, cleanup := buildPeers(t, cfg, 1000, 2, 2, 9)
+	defer cleanup()
+	// Kill one corner peer; queries from the opposite corner lose it (and
+	// possibly nothing else — the grid has alternate routes).
+	peers[3].Close()
+	res, err := peers[0].Query(core.Unconstrained(), len(peers))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Results < 2 {
+		t.Errorf("live peers should still respond, got %d results", res.Results)
+	}
+	if res.Complete {
+		t.Errorf("quorum 1.0 with a dead peer should not complete")
+	}
+}
+
+func TestCloseIsIdempotentAndQueryAfterCloseErrors(t *testing.T) {
+	dir := NewDirectory()
+	p, err := NewPeer(1, nil, tuple.NewSchema(2, 0, 10), core.Exact, true, tuple.Point{}, dir, DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewPeer: %v", err)
+	}
+	p.Close()
+	p.Close()
+	if _, err := p.Query(10, 1); err != ErrClosed {
+		t.Errorf("Query after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestDirectory(t *testing.T) {
+	d := NewDirectory()
+	if _, ok := d.Lookup(5); ok {
+		t.Errorf("empty directory should miss")
+	}
+	d.Register(5, "127.0.0.1:1234")
+	if a, ok := d.Lookup(5); !ok || a != "127.0.0.1:1234" {
+		t.Errorf("Lookup = %v %v", a, ok)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	bad := []Config{
+		{QueryTimeout: 0, Quorum: 1, DialTimeout: 1},
+		{QueryTimeout: 1, Quorum: 0, DialTimeout: 1},
+		{QueryTimeout: 1, Quorum: 2, DialTimeout: 1},
+		{QueryTimeout: 1, Quorum: 1, DialTimeout: 0},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestSinglePeerQuery(t *testing.T) {
+	dir := NewDirectory()
+	data := gen.Generate(gen.DefaultConfig(500, 2, gen.Independent, 3))
+	p, err := NewPeer(0, data, tuple.NewSchema(2, 1, 1000), core.Under, true,
+		tuple.Point{X: 500, Y: 500}, dir, DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewPeer: %v", err)
+	}
+	defer p.Close()
+	res, err := p.Query(300, 1)
+	if err != nil || !res.Complete {
+		t.Fatalf("solo query: %v %v", err, res.Complete)
+	}
+	want := skyline.Constrained(data, p.Pos(), 300)
+	if !skyline.SetEqual(res.Skyline, want) {
+		t.Errorf("solo query wrong: %d vs %d", len(res.Skyline), len(want))
+	}
+}

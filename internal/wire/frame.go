@@ -1,0 +1,43 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Stream framing for TCP transports: every message is prefixed by a 4-byte
+// little-endian length. MaxFrame bounds a frame on read so a corrupt or
+// hostile peer cannot force an unbounded allocation.
+const MaxFrame = 64 << 20
+
+// WriteFrame writes one length-prefixed message.
+func WriteFrame(w io.Writer, msg []byte) error {
+	if len(msg) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(msg))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(msg)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}

@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"testing"
+
+	"manetskyline/internal/core"
+	"manetskyline/internal/tuple"
+)
+
+// FuzzDecodeQuery exercises the decoder with arbitrary bytes: it must never
+// panic, and everything it accepts must re-encode to the same bytes
+// (canonical form).
+func FuzzDecodeQuery(f *testing.F) {
+	flt := tuple.Tuple{X: 1, Y: 2, Attrs: []float64{60, 3}}
+	f.Add(EncodeQuery(core.Query{Org: 1, Cnt: 2, D: 250}))
+	f.Add(EncodeQuery(core.Query{Org: 3, Cnt: 4, Filter: &flt, FilterVDR: 980}))
+	f.Add([]byte{})
+	f.Add([]byte{byte(KindQuery)})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		q, err := DecodeQuery(b)
+		if err != nil {
+			return
+		}
+		re := EncodeQuery(q)
+		if string(re) != string(b) {
+			t.Fatalf("accepted non-canonical query encoding:\n in: %x\nout: %x", b, re)
+		}
+	})
+}
+
+// FuzzDecodeResult is the same contract for result messages.
+func FuzzDecodeResult(f *testing.F) {
+	f.Add(EncodeResult(Result{Key: core.QueryKey{Org: 1, Cnt: 1}}))
+	f.Add(EncodeResult(Result{
+		Key:    core.QueryKey{Org: 2, Cnt: 9},
+		From:   5,
+		Tuples: []tuple.Tuple{{X: 1, Y: 2, Attrs: []float64{3, 4}}},
+	}))
+	f.Add([]byte{byte(KindResult)})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := DecodeResult(b)
+		if err != nil {
+			return
+		}
+		re := EncodeResult(r)
+		if string(re) != string(b) {
+			t.Fatalf("accepted non-canonical result encoding:\n in: %x\nout: %x", b, re)
+		}
+	})
+}

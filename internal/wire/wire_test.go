@@ -1,0 +1,247 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"manetskyline/internal/core"
+	"manetskyline/internal/tuple"
+)
+
+func tp(x, y float64, attrs ...float64) tuple.Tuple {
+	return tuple.Tuple{X: x, Y: y, Attrs: attrs}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	flt := tp(1.5, -2.5, 60, 3)
+	cases := []core.Query{
+		{Org: 7, Cnt: 3, Pos: tuple.Point{X: 100, Y: 200}, D: 250},
+		{Org: 0, Cnt: 0, Pos: tuple.Point{}, D: math.Inf(1)},
+		{Org: 42, Cnt: 255, Pos: tuple.Point{X: -1, Y: 1e9}, D: 0.001,
+			Filter: &flt, FilterVDR: 980},
+		{Org: 9, Cnt: 1, D: 300, Filter: &flt, FilterVDR: 5,
+			Extra: []tuple.Tuple{tp(1, 1, 70, 4), tp(2, 2, 100, 2)}},
+	}
+	for i, q := range cases {
+		b := EncodeQuery(q)
+		if k, err := Peek(b); err != nil || k != KindQuery {
+			t.Fatalf("case %d: Peek = %v, %v", i, k, err)
+		}
+		got, err := DecodeQuery(b)
+		if err != nil {
+			t.Fatalf("case %d: DecodeQuery: %v", i, err)
+		}
+		if !queriesEqual(q, got) {
+			t.Errorf("case %d: round trip mismatch:\n%+v\n%+v", i, q, got)
+		}
+	}
+}
+
+func queriesEqual(a, b core.Query) bool {
+	if a.Org != b.Org || a.Cnt != b.Cnt || a.Pos != b.Pos {
+		return false
+	}
+	if a.D != b.D && !(math.IsInf(a.D, 1) && math.IsInf(b.D, 1)) {
+		return false
+	}
+	if (a.Filter == nil) != (b.Filter == nil) {
+		return false
+	}
+	if a.Filter != nil {
+		if !a.Filter.Equal(*b.Filter) || a.FilterVDR != b.FilterVDR {
+			return false
+		}
+	}
+	if len(a.Extra) != len(b.Extra) {
+		return false
+	}
+	for i := range a.Extra {
+		if !a.Extra[i].Equal(b.Extra[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	cases := []Result{
+		{Key: core.QueryKey{Org: 1, Cnt: 2}, From: 3},
+		{Key: core.QueryKey{Org: 9, Cnt: 200}, From: 55, Tuples: []tuple.Tuple{
+			tp(1, 2, 3), tp(4, 5, 6), tp(-1e6, 1e-6, 0),
+		}},
+	}
+	for i, r := range cases {
+		b := EncodeResult(r)
+		if k, err := Peek(b); err != nil || k != KindResult {
+			t.Fatalf("case %d: Peek = %v, %v", i, k, err)
+		}
+		got, err := DecodeResult(b)
+		if err != nil {
+			t.Fatalf("case %d: DecodeResult: %v", i, err)
+		}
+		if !reflect.DeepEqual(r, got) {
+			t.Errorf("case %d: round trip mismatch:\n%+v\n%+v", i, r, got)
+		}
+	}
+}
+
+func TestQuickQueryRoundTrip(t *testing.T) {
+	f := func(org int32, cnt uint8, x, y, d float64, hasFilter bool, fx float64, attrs []float64) bool {
+		if len(attrs) > MaxDim {
+			attrs = attrs[:MaxDim]
+		}
+		q := core.Query{Org: core.DeviceID(org), Cnt: cnt, Pos: tuple.Point{X: x, Y: y}, D: d}
+		if hasFilter {
+			flt := tuple.Tuple{X: fx, Attrs: attrs}
+			q.Filter = &flt
+			q.FilterVDR = fx * 2
+		}
+		got, err := DecodeQuery(EncodeQuery(q))
+		if err != nil {
+			return false
+		}
+		// NaN-tolerant comparison: NaN != NaN, so compare bit patterns.
+		return bitsEqualQuery(q, got)
+	}
+	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func bitsEqualQuery(a, b core.Query) bool {
+	eq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	if a.Org != b.Org || a.Cnt != b.Cnt ||
+		!eq(a.Pos.X, b.Pos.X) || !eq(a.Pos.Y, b.Pos.Y) || !eq(a.D, b.D) {
+		return false
+	}
+	if (a.Filter == nil) != (b.Filter == nil) {
+		return false
+	}
+	if a.Filter != nil {
+		if !eq(a.FilterVDR, b.FilterVDR) || !eq(a.Filter.X, b.Filter.X) || !eq(a.Filter.Y, b.Filter.Y) {
+			return false
+		}
+		if len(a.Filter.Attrs) != len(b.Filter.Attrs) {
+			return false
+		}
+		for i := range a.Filter.Attrs {
+			if !eq(a.Filter.Attrs[i], b.Filter.Attrs[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	q := core.Query{Org: 1, Cnt: 2, D: 100}
+	flt := tp(0, 0, 1, 2)
+	qf := q
+	qf.Filter = &flt
+	r := Result{Key: core.QueryKey{Org: 1, Cnt: 1}, Tuples: []tuple.Tuple{tp(1, 2, 3, 4)}}
+
+	good := [][]byte{EncodeQuery(q), EncodeQuery(qf), EncodeResult(r)}
+	for gi, g := range good {
+		// Truncations at every length must error, never panic.
+		for n := 0; n < len(g); n++ {
+			b := g[:n]
+			if _, err := DecodeQuery(b); gi < 2 && err == nil {
+				t.Fatalf("good[%d] truncated to %d decoded as query", gi, n)
+			}
+			if _, err := DecodeResult(b); gi == 2 && err == nil {
+				t.Fatalf("good[%d] truncated to %d decoded as result", gi, n)
+			}
+		}
+		// Trailing garbage must be rejected.
+		b := append(append([]byte{}, g...), 0xFF)
+		if _, err := DecodeQuery(b); gi < 2 && err == nil {
+			t.Fatalf("good[%d]+garbage decoded as query", gi)
+		}
+		if _, err := DecodeResult(b); gi == 2 && err == nil {
+			t.Fatalf("good[%d]+garbage decoded as result", gi)
+		}
+	}
+
+	if _, err := Peek(nil); err == nil {
+		t.Errorf("Peek(nil) should error")
+	}
+	if _, err := Peek([]byte{99}); err == nil {
+		t.Errorf("unknown kind should error")
+	}
+	if _, err := DecodeQuery(EncodeResult(r)); err == nil {
+		t.Errorf("result bytes must not decode as query")
+	}
+	if _, err := DecodeResult(EncodeQuery(q)); err == nil {
+		t.Errorf("query bytes must not decode as result")
+	}
+}
+
+func TestDecodeRejectsHostileSizes(t *testing.T) {
+	// A result header claiming 4 billion tuples must be rejected before any
+	// allocation.
+	b := []byte{byte(KindResult)}
+	b = append(b, 0, 0, 0, 0) // org
+	b = append(b, 1)          // cnt
+	b = append(b, 0, 0, 0, 0) // from
+	b = append(b, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := DecodeResult(b); err == nil {
+		t.Errorf("hostile tuple count should be rejected")
+	}
+	// A tuple with dim 65535 must be rejected.
+	q := []byte{byte(KindQuery)}
+	q = append(q, 0, 0, 0, 0)
+	q = append(q, 1)
+	q = append(q, make([]byte, 24)...)
+	q = append(q, 1)                   // has filter
+	q = append(q, make([]byte, 16)...) // x, y
+	q = append(q, 0xFF, 0xFF)          // dim = 65535
+	if _, err := DecodeQuery(q); err == nil {
+		t.Errorf("hostile dimensionality should be rejected")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := [][]byte{{1, 2, 3}, {}, bytes.Repeat([]byte{7}, 10000)}
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame %d mismatch", i)
+		}
+	}
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Errorf("exhausted stream should error")
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, MaxFrame+1)); err == nil {
+		t.Errorf("oversized write should error")
+	}
+	// A hostile length prefix must be rejected without allocation.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Errorf("hostile length should be rejected")
+	}
+	// Truncated payload must error.
+	buf.Reset()
+	buf.Write([]byte{10, 0, 0, 0, 1, 2})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Errorf("truncated frame should error")
+	}
+}

@@ -1,0 +1,97 @@
+// Package manetskyline is a Go implementation of distributed constrained
+// skyline query processing for mobile ad hoc networks, reproducing
+// Huang, Jensen, Lu, and Ooi, "Skyline Queries Against Mobile Lightweight
+// Devices in MANETs" (ICDE 2006).
+//
+// The library answers queries of the form "all sites within distance d of
+// me that are not dominated on their non-spatial attributes by any other
+// in-range site", where the data is horizontally partitioned across many
+// resource-constrained devices connected only by multi-hop wireless links.
+//
+// This root package is the public facade. It re-exports the data model and
+// the protocol pieces a library user composes:
+//
+//   - Tuple, Point, Rect, Schema — the spatial data model.
+//   - Skyline, ConstrainedSkyline — centralized evaluation (ground truth,
+//     small datasets, baselines).
+//   - Device, Query, Estimation — the distributed protocol: local skylines
+//     on hybrid storage, VDR-based filtering tuples (§3.2-3.4), duplicate
+//     suppression, and Merge assembly (§4.3).
+//   - The subsystems live in internal/ packages wired together by the
+//     examples (examples/), the simulator CLI (cmd/skysim), and the
+//     benchmark harness (cmd/skybench).
+//
+// Quick start — four devices answering a hotel query:
+//
+//	schema := manetskyline.NewSchema(2, 0, 1000)
+//	dev := manetskyline.NewDevice(1, tuples, schema, manetskyline.Under, true)
+//	q, local := dev.Originate(pos, 250)        // query + SK_org + filter
+//	remote := otherDev.Process(q)              // reduced SK'_i, upgraded filter
+//	final := manetskyline.Merge(local.Skyline, remote.Skyline)
+package manetskyline
+
+import (
+	"manetskyline/internal/core"
+	"manetskyline/internal/skyline"
+	"manetskyline/internal/tuple"
+)
+
+// Tuple is one site: position (X, Y) plus smaller-is-better attributes.
+type Tuple = tuple.Tuple
+
+// Point is a location in the plane.
+type Point = tuple.Point
+
+// Rect is an axis-aligned rectangle (minimum bounding rectangles, cells).
+type Rect = tuple.Rect
+
+// Schema describes attributes and their global bounds.
+type Schema = tuple.Schema
+
+// NewSchema builds an n-attribute schema bounded by [lo, hi].
+func NewSchema(n int, lo, hi float64) Schema { return tuple.NewSchema(n, lo, hi) }
+
+// Device is one mobile device's protocol endpoint: hybrid-stored local
+// relation, duplicate-query log, and filtering-tuple logic.
+type Device = core.Device
+
+// DeviceID identifies a device.
+type DeviceID = core.DeviceID
+
+// Query is the distributed skyline query Q_ds = (id, cnt, pos, d) with its
+// piggy-backed filtering tuple.
+type Query = core.Query
+
+// Estimation selects how dominating-region volumes are computed when
+// choosing filtering tuples.
+type Estimation = core.Estimation
+
+// Estimation modes: exact global bounds, pre-specified over-estimates, or
+// device-local under-estimates (§3.3).
+const (
+	Exact = core.Exact
+	Over  = core.Over
+	Under = core.Under
+)
+
+// NewDevice builds a device over its local relation. dynamic enables the
+// hop-by-hop filtering-tuple upgrade of §3.4.
+func NewDevice(id DeviceID, ts []Tuple, schema Schema, mode Estimation, dynamic bool) *Device {
+	return core.NewDevice(id, ts, schema, mode, dynamic)
+}
+
+// Skyline computes the skyline of a tuple set centrally (sort-filter-skyline).
+func Skyline(ts []Tuple) []Tuple { return skyline.SFS(ts) }
+
+// ConstrainedSkyline computes the skyline of the tuples within distance d
+// of pos — the centralized semantics of the distributed query.
+func ConstrainedSkyline(ts []Tuple, pos Point, d float64) []Tuple {
+	return skyline.Constrained(ts, pos, d)
+}
+
+// Merge folds one device's result into a partial result, removing dominated
+// tuples and duplicate sites (§4.3 assembly).
+func Merge(current, incoming []Tuple) []Tuple { return core.Merge(current, incoming) }
+
+// Unconstrained is the distance that disables the spatial predicate.
+func Unconstrained() float64 { return core.Unconstrained() }

@@ -1,0 +1,83 @@
+package manetskyline
+
+import (
+	"testing"
+
+	"manetskyline/internal/gen"
+	"manetskyline/internal/skyline"
+)
+
+// The facade must support the full originate → process → merge protocol
+// round trip documented in the package comment.
+func TestFacadeProtocolRoundTrip(t *testing.T) {
+	cfg := gen.DefaultConfig(4000, 2, gen.Independent, 77)
+	data := gen.Generate(cfg)
+	parts := gen.GridPartition(data, 2, cfg.Space)
+
+	schema := NewSchema(2, 1, 1000)
+	devs := make([]*Device, len(parts))
+	for i, p := range parts {
+		devs[i] = NewDevice(DeviceID(i), p, schema, Under, true)
+	}
+
+	pos := Point{X: 500, Y: 500}
+	const d = 400.0
+	q, local := devs[0].Originate(pos, d)
+
+	final := local.Skyline
+	for _, dev := range devs[1:] {
+		reply := dev.Process(q)
+		q = q.WithFilter(reply.Filter, reply.FilterVDR)
+		final = Merge(final, reply.Skyline)
+	}
+
+	want := ConstrainedSkyline(data, pos, d)
+	if !skyline.SetEqual(final, want) {
+		t.Fatalf("facade protocol produced %d tuples, centralized %d", len(final), len(want))
+	}
+}
+
+func TestFacadeCentralizedHelpers(t *testing.T) {
+	data := []Tuple{
+		{X: 0, Y: 0, Attrs: []float64{1, 9}},
+		{X: 1, Y: 1, Attrs: []float64{5, 5}},
+		{X: 2, Y: 2, Attrs: []float64{9, 1}},
+		{X: 3, Y: 3, Attrs: []float64{9, 9}}, // dominated
+	}
+	sky := Skyline(data)
+	if len(sky) != 3 {
+		t.Fatalf("Skyline = %v", sky)
+	}
+	csky := ConstrainedSkyline(data, Point{}, 2)
+	if len(csky) != 2 { // only the first two are within distance 2
+		t.Fatalf("ConstrainedSkyline = %v", csky)
+	}
+	if Unconstrained() <= 0 {
+		t.Errorf("Unconstrained should be positive infinity")
+	}
+}
+
+func TestFacadeEstimationModes(t *testing.T) {
+	// The re-exported constants must match the protocol's behavior: all
+	// three modes answer identically, only pruning differs.
+	cfg := gen.DefaultConfig(2000, 3, gen.AntiCorrelated, 3)
+	data := gen.Generate(cfg)
+	parts := gen.GridPartition(data, 2, cfg.Space)
+	want := ConstrainedSkyline(data, Point{X: 500, Y: 500}, 600)
+	for _, mode := range []Estimation{Exact, Over, Under} {
+		a := NewDevice(0, parts[0], cfg.Schema(), mode, true)
+		b := NewDevice(1, parts[1], cfg.Schema(), mode, true)
+		c := NewDevice(2, parts[2], cfg.Schema(), mode, true)
+		d := NewDevice(3, parts[3], cfg.Schema(), mode, true)
+		q, local := a.Originate(Point{X: 500, Y: 500}, 600)
+		final := local.Skyline
+		for _, dev := range []*Device{b, c, d} {
+			r := dev.Process(q)
+			q = q.WithFilter(r.Filter, r.FilterVDR)
+			final = Merge(final, r.Skyline)
+		}
+		if !skyline.SetEqual(final, want) {
+			t.Errorf("mode %v: wrong result (%d vs %d tuples)", mode, len(final), len(want))
+		}
+	}
+}
