@@ -8,12 +8,16 @@
 //	skybench -experiment fig5a -scale paper  # one figure at full Table 6 scale
 //	skybench -list                           # show available experiments
 //	skybench -experiment sim -csv results/   # also write CSV files
+//	skybench -experiment sim -workers 1      # serial sweep (tables are byte-identical to parallel)
+//	skybench -experiment sim -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"manetskyline/internal/bench"
@@ -28,10 +32,13 @@ func main() {
 
 func run() error {
 	var (
-		expName = flag.String("experiment", "all", "experiment to run (see -list)")
-		scale   = flag.String("scale", "default", "sweep scale: small|default|paper")
-		csvDir  = flag.String("csv", "", "directory for CSV output (optional)")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		expName    = flag.String("experiment", "all", "experiment to run (see -list)")
+		scale      = flag.String("scale", "default", "sweep scale: small|default|paper")
+		csvDir     = flag.String("csv", "", "directory for CSV output (optional)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		workers    = flag.Int("workers", 0, "concurrent scenario jobs (0 = GOMAXPROCS; 1 = serial)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -50,8 +57,35 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	bench.SetWorkers(*workers)
 
-	fmt.Printf("# %s (scale=%s)\n\n", exp.Description, sc)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "skybench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "skybench: memprofile:", err)
+			}
+		}()
+	}
+
+	fmt.Printf("# %s (scale=%s, workers=%d)\n\n", exp.Description, sc, bench.Workers())
 	start := time.Now()
 	tables := exp.Run(sc)
 	if err := bench.Emit(os.Stdout, *csvDir, tables...); err != nil {

@@ -16,6 +16,10 @@ import (
 // across flat, hybrid, domain, and ring storage. Hybrid should win on time
 // (ID comparisons + presort) while staying close to domain storage's size;
 // ring pays its value-walk on every comparison.
+//
+// This ablation (like AblationSpatialIndex and AblationBaselines) measures
+// host wall time, so its points deliberately stay serial rather than using
+// the worker pool: co-running the timed sections would contaminate them.
 func AblationStorage(sc Scale) []*Table {
 	p := sc.params()
 	n := p.F5DimCard
@@ -82,8 +86,20 @@ func AblationMultiFilter(sc Scale) []*Table {
 		}
 		return acc.DRR()
 	}
-	for _, k := range []int{1, 2, 3, 4, 5} {
-		t.AddRow(k, drrFor(gen.Independent, k), drrFor(gen.AntiCorrelated, k))
+	// Ten independent (k × distribution) protocol runs, fanned out over the
+	// worker pool and collected positionally.
+	ks := []int{1, 2, 3, 4, 5}
+	drrs := make([][2]float64, len(ks))
+	forEach(2*len(ks), func(i int) {
+		ki, di := i/2, i%2
+		dist := gen.Independent
+		if di == 1 {
+			dist = gen.AntiCorrelated
+		}
+		drrs[ki][di] = drrFor(dist, ks[ki])
+	})
+	for i, k := range ks {
+		t.AddRow(k, drrs[i][0], drrs[i][1])
 	}
 	return []*Table{t}
 }

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The paper's evaluation grid (§5, Figures 5-12) is a set of mutually
+// independent scenario runs: every (series × axis-point) job derives all of
+// its randomness from an explicit seed in the sweep parameters and shares
+// no state with its neighbours. The pool here fans those jobs out over a
+// bounded number of workers while the harness collects results positionally,
+// so the emitted tables are byte-identical to a serial run regardless of
+// execution order.
+
+// workerCount is the pool width; 0 means "not set yet" and resolves to
+// runtime.GOMAXPROCS(0) at use time.
+var workerCount atomic.Int64
+
+// SetWorkers fixes how many scenario jobs may run concurrently. Values
+// below 1 reset to the default of runtime.GOMAXPROCS(0). A width of 1
+// reproduces the serial harness exactly: jobs run inline in index order.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 0
+	}
+	workerCount.Store(int64(n))
+}
+
+// Workers reports the current pool width.
+func Workers() int {
+	if n := workerCount.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(0), ..., fn(n-1) on the pool and blocks until every job
+// finished. Jobs must be independent and write their outputs to distinct,
+// pre-allocated slots; forEach guarantees all writes are visible when it
+// returns. With one worker (or one job) it degenerates to the plain serial
+// loop, which determinism tests lean on.
+func forEach(n int, fn func(int)) {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"manetskyline/internal/gen"
+)
+
+// benchmarkStaticSweep measures one full Small static figure under the
+// given pool width; comparing Serial with Parallel shows the sweep engine's
+// wall-clock win on multi-core hosts.
+func benchmarkStaticSweep(b *testing.B, workers int) {
+	prev := int(workerCount.Load())
+	SetWorkers(workers)
+	defer workerCount.Store(int64(prev))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		staticFigure(Small, gen.Independent, "fig6")
+	}
+}
+
+func BenchmarkStaticSweepSerial(b *testing.B) { benchmarkStaticSweep(b, 1) }
+
+func BenchmarkStaticSweepParallel(b *testing.B) {
+	benchmarkStaticSweep(b, runtime.GOMAXPROCS(0))
+}
+
+// benchmarkSimSweep does the same for the MANET simulation sweep, bypassing
+// the memo so every iteration pays the real cost.
+func benchmarkSimSweep(b *testing.B, workers int) {
+	prev := int(workerCount.Load())
+	SetWorkers(workers)
+	defer workerCount.Store(int64(prev))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		simFiguresFresh(Small, gen.Independent, "fig8", "fig10")
+	}
+}
+
+func BenchmarkSimSweepSerial(b *testing.B) { benchmarkSimSweep(b, 1) }
+
+func BenchmarkSimSweepParallel(b *testing.B) {
+	benchmarkSimSweep(b, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkPoolOverhead isolates the fan-out cost of the pool itself on
+// trivially small jobs.
+func BenchmarkPoolOverhead(b *testing.B) {
+	prev := int(workerCount.Load())
+	SetWorkers(runtime.GOMAXPROCS(0))
+	defer workerCount.Store(int64(prev))
+	sink := make([]int, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		forEach(len(sink), func(j int) { sink[j] = j * j })
+	}
+}

@@ -21,7 +21,15 @@ func AblationRedistribution(sc Scale) []*Table {
 			p.SimCard, p.SimGrid, p.SimGrid),
 		Columns: []string{"redistribute", "recall", "completion", "respTime", "transfers"},
 	}
-	for _, redist := range []bool{false, true} {
+	// The off/on scenarios are independent seeded runs; evaluate both on
+	// the worker pool and emit rows in the fixed off-then-on order.
+	type outcome struct {
+		recall, completion, resp float64
+		transfers                int
+	}
+	outcomes := make([]outcome, 2)
+	forEach(2, func(i int) {
+		redist := i == 1
 		mp := manet.DefaultParams()
 		mp.Grid = p.SimGrid
 		mp.GlobalN = p.SimCard
@@ -65,11 +73,11 @@ func AblationRedistribution(sc Scale) []*Table {
 			recalls = append(recalls, float64(hit)/float64(len(truth)))
 		}
 		resp, _ := out.MeanResponseTime()
-		label := "off"
-		if redist {
-			label = "on"
-		}
-		t.AddRow(label, stats.Mean(recalls), out.CompletionRate(), resp, out.Transfers)
+		outcomes[i] = outcome{stats.Mean(recalls), out.CompletionRate(), resp, out.Transfers}
+	})
+	for i, label := range []string{"off", "on"} {
+		o := outcomes[i]
+		t.AddRow(label, o.recall, o.completion, o.resp, o.transfers)
 	}
 	return []*Table{t}
 }

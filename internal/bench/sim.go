@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
 	"manetskyline/internal/core"
 	"manetskyline/internal/gen"
@@ -106,33 +107,96 @@ func (sw simSweep) addPoint(axis any, pts []simPoint) {
 	sw.msgs.AddRow(msgRow...)
 }
 
-// simFigures runs the full MANET sweep for one attribute distribution and
-// returns the DRR tables (Figure 8 or 9), the response-time tables
+// sweepMemo caches one full simulation sweep per (scale, distribution,
+// figure IDs) within a process: Fig8/Fig10 (and Fig9/Fig11) present
+// different tables of the same sweep, and Fig12's message counts are the
+// grid axis of the independent-data sweep, so recomputing it per figure
+// would triple the dominant simulation cost of `-experiment all`.
+var (
+	sweepMu   sync.Mutex
+	sweepMemo = map[sweepKey]*sweepResult{}
+)
+
+type sweepKey struct {
+	sc            Scale
+	dist          gen.Distribution
+	drrID, respID string
+}
+
+type sweepResult struct {
+	drr, resp []*Table
+	msgs      *Table
+}
+
+// simFigures returns the memoized full MANET sweep for one attribute
+// distribution: the DRR tables (Figure 8 or 9), the response-time tables
 // (Figure 10 or 11), and the message-count table feeding Figure 12.
 func simFigures(sc Scale, dist gen.Distribution, drrID, respID string) (drr, resp []*Table, msgs *Table) {
+	key := sweepKey{sc, dist, drrID, respID}
+	sweepMu.Lock()
+	defer sweepMu.Unlock()
+	r, ok := sweepMemo[key]
+	if !ok {
+		r = &sweepResult{}
+		r.drr, r.resp, r.msgs = simFiguresFresh(sc, dist, drrID, respID)
+		sweepMemo[key] = r
+	}
+	return r.drr, r.resp, r.msgs
+}
+
+// simFiguresFresh computes the sweep, fanning every independent
+// (series × axis-point) scenario out over the worker pool. Each job's
+// randomness comes solely from the per-job parameters (the scale's fixed
+// seed), and results land in positional slots, so the assembled tables are
+// byte-identical however many workers run.
+func simFiguresFresh(sc Scale, dist gen.Distribution, drrID, respID string) (drr, resp []*Table, msgs *Table) {
 	p := sc.params()
 	series := simSeriesSet(p.Distances)
+
+	// The three swept axes of Figures 8-12: cardinality, dimensionality,
+	// and device count, each crossed with every series.
+	type axisSpec struct{ n, dim, grid int }
+	axes := [3][]axisSpec{}
+	for _, n := range p.SimCards {
+		axes[0] = append(axes[0], axisSpec{n, 2, p.SimGrid})
+	}
+	for _, dim := range p.SimDims {
+		axes[1] = append(axes[1], axisSpec{p.SimDimCard, dim, p.SimGrid})
+	}
+	for _, g := range p.SimGrids {
+		axes[2] = append(axes[2], axisSpec{p.SimCard, 2, g})
+	}
+
+	type slot struct{ sweep, axis, ser int }
+	var jobs []slot
+	points := [3][][]simPoint{}
+	for sw := range axes {
+		points[sw] = make([][]simPoint, len(axes[sw]))
+		for ai := range axes[sw] {
+			points[sw][ai] = make([]simPoint, len(series))
+			for si := range series {
+				jobs = append(jobs, slot{sw, ai, si})
+			}
+		}
+	}
+	forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		a := axes[j.sweep][j.axis]
+		points[j.sweep][j.axis][j.ser] = runSim(p, a.n, a.dim, a.grid, dist, series[j.ser])
+	})
 
 	cards := newSimSweep("a", "tuples",
 		fmt.Sprintf("vs. cardinality (%v, %d×%d grid, 2 attrs)", dist, p.SimGrid, p.SimGrid),
 		series, drrID, respID)
-	for _, n := range p.SimCards {
-		var pts []simPoint
-		for _, s := range series {
-			pts = append(pts, runSim(p, n, 2, p.SimGrid, dist, s))
-		}
-		cards.addPoint(n, pts)
+	for ai, n := range p.SimCards {
+		cards.addPoint(n, points[0][ai])
 	}
 
 	dims := newSimSweep("b", "attrs",
 		fmt.Sprintf("vs. dimensionality (%v, %d tuples, %d×%d grid)", dist, p.SimDimCard, p.SimGrid, p.SimGrid),
 		series, drrID, respID)
-	for _, dim := range p.SimDims {
-		var pts []simPoint
-		for _, s := range series {
-			pts = append(pts, runSim(p, p.SimDimCard, dim, p.SimGrid, dist, s))
-		}
-		dims.addPoint(dim, pts)
+	for ai, dim := range p.SimDims {
+		dims.addPoint(dim, points[1][ai])
 	}
 
 	grids := newSimSweep("c", "devices",
@@ -143,11 +207,8 @@ func simFigures(sc Scale, dist gen.Distribution, drrID, respID string) (drr, res
 		Title:   fmt.Sprintf("mean messages per query vs. number of devices (%v, %d tuples, 2 attrs)", dist, p.SimCard),
 		Columns: grids.msgs.Columns,
 	}
-	for _, g := range p.SimGrids {
-		var pts []simPoint
-		for _, s := range series {
-			pts = append(pts, runSim(p, p.SimCard, 2, g, dist, s))
-		}
+	for ai, g := range p.SimGrids {
+		pts := points[2][ai]
 		grids.addPoint(g*g, pts)
 		row := []any{g * g}
 		for _, pt := range pts {
@@ -188,32 +249,20 @@ func Fig11(sc Scale) []*Table {
 
 // Fig12 reproduces Figure 12: query message count versus device count
 // (BF vs. DF). The paper notes cardinality, dimensionality, and
-// distribution barely affect the count, so independent data suffices.
+// distribution barely affect the count, so independent data suffices — and
+// the numbers are exactly the grid axis of the independent-data sweep, so
+// Fig12 re-presents the memoized sweep's message table instead of re-running
+// the simulations.
 func Fig12(sc Scale) []*Table {
 	p := sc.params()
-	series := simSeriesSet(p.Distances)
+	_, _, msgs := simFigures(sc, gen.Independent, "fig8", "fig10")
 	t := &Table{
 		ID:      "fig12",
 		Title:   fmt.Sprintf("mean messages per query vs. number of devices (IN, %d tuples, 2 attrs)", p.SimCard),
-		Columns: append([]string{"devices"}, seriesLabels(series)...),
-	}
-	for _, g := range p.SimGrids {
-		row := []any{g * g}
-		for _, s := range series {
-			pt := runSim(p, p.SimCard, 2, g, gen.Independent, s)
-			row = append(row, pt.messages)
-		}
-		t.AddRow(row...)
+		Columns: append([]string(nil), msgs.Columns...),
+		Rows:    append([][]string(nil), msgs.Rows...),
 	}
 	return []*Table{t}
-}
-
-func seriesLabels(series []simSeries) []string {
-	var out []string
-	for _, s := range series {
-		out = append(out, s.label())
-	}
-	return out
 }
 
 // SimAll runs both distributions' sweeps once and emits Figures 8-12

@@ -54,7 +54,9 @@ func staticDRR(n, dim, grid int, dist gen.Distribution, s staticSeries, seed int
 // staticFigure builds the three sub-figures of Figure 6 (independent data)
 // or Figure 7 (anti-correlated data): DRR versus cardinality,
 // dimensionality, and device count, across the six strategy × estimation
-// series.
+// series. Every (series × axis-point) pre-test builds its own dataset and
+// devices from the scale's fixed seed, so the cells fan out over the worker
+// pool and are collected positionally into the serial row order.
 func staticFigure(sc Scale, dist gen.Distribution, figID string) []*Table {
 	p := sc.params()
 	series := staticSeriesSet()
@@ -63,44 +65,66 @@ func staticFigure(sc Scale, dist gen.Distribution, figID string) []*Table {
 		cols = append(cols, s.label())
 	}
 
+	type axisSpec struct{ n, dim, grid int }
+	axes := [3][]axisSpec{}
+	for _, n := range p.StaticCards {
+		axes[0] = append(axes[0], axisSpec{n, 2, p.StaticGrid})
+	}
+	for _, dim := range p.StaticDims {
+		axes[1] = append(axes[1], axisSpec{p.StaticCard, dim, p.StaticGrid})
+	}
+	for _, g := range p.StaticGrids {
+		axes[2] = append(axes[2], axisSpec{p.StaticCard, 2, g})
+	}
+
+	type slot struct{ sweep, axis, ser int }
+	var jobs []slot
+	drrs := [3][][]float64{}
+	for sw := range axes {
+		drrs[sw] = make([][]float64, len(axes[sw]))
+		for ai := range axes[sw] {
+			drrs[sw][ai] = make([]float64, len(series))
+			for si := range series {
+				jobs = append(jobs, slot{sw, ai, si})
+			}
+		}
+	}
+	forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		a := axes[j.sweep][j.axis]
+		drrs[j.sweep][j.axis][j.ser] = staticDRR(a.n, a.dim, a.grid, dist, series[j.ser], p.Seed)
+	})
+
+	addRows := func(t *Table, sweep int, axisVal func(i int) any) {
+		for ai := range axes[sweep] {
+			row := []any{axisVal(ai)}
+			for _, v := range drrs[sweep][ai] {
+				row = append(row, v)
+			}
+			t.AddRow(row...)
+		}
+	}
+
 	card := &Table{
 		ID:      figID + "a",
 		Title:   fmt.Sprintf("static DRR vs. cardinality (%v data, %d×%d grid, 2 attrs)", dist, p.StaticGrid, p.StaticGrid),
 		Columns: append([]string{"tuples"}, cols[1:]...),
 	}
-	for _, n := range p.StaticCards {
-		row := []any{n}
-		for _, s := range series {
-			row = append(row, staticDRR(n, 2, p.StaticGrid, dist, s, p.Seed))
-		}
-		card.AddRow(row...)
-	}
+	addRows(card, 0, func(i int) any { return p.StaticCards[i] })
 
 	dims := &Table{
 		ID:      figID + "b",
 		Title:   fmt.Sprintf("static DRR vs. dimensionality (%v data, %d tuples, %d×%d grid)", dist, p.StaticCard, p.StaticGrid, p.StaticGrid),
 		Columns: append([]string{"attrs"}, cols[1:]...),
 	}
-	for _, dim := range p.StaticDims {
-		row := []any{dim}
-		for _, s := range series {
-			row = append(row, staticDRR(p.StaticCard, dim, p.StaticGrid, dist, s, p.Seed))
-		}
-		dims.AddRow(row...)
-	}
+	addRows(dims, 1, func(i int) any { return p.StaticDims[i] })
 
 	grids := &Table{
 		ID:      figID + "c",
 		Title:   fmt.Sprintf("static DRR vs. number of devices (%v data, %d tuples, 2 attrs)", dist, p.StaticCard),
 		Columns: append([]string{"devices"}, cols[1:]...),
 	}
-	for _, g := range p.StaticGrids {
-		row := []any{g * g}
-		for _, s := range series {
-			row = append(row, staticDRR(p.StaticCard, 2, g, dist, s, p.Seed))
-		}
-		grids.AddRow(row...)
-	}
+	addRows(grids, 2, func(i int) any { return p.StaticGrids[i] * p.StaticGrids[i] })
 
 	return []*Table{card, dims, grids}
 }

@@ -70,7 +70,10 @@ func (d *Device) NewQuery(pos tuple.Point, dist float64) Query {
 func (d *Device) Originate(pos tuple.Point, dist float64) (Query, localsky.Result) {
 	q := d.NewQuery(pos, dist)
 	d.Log.FirstTime(q.Key())
-	res := localsky.HybridSkyline(d.Rel, localsky.Query{Pos: q.Pos, D: q.D}, nil, d.VDRFunc())
+	sc := localsky.GetScratch()
+	res := localsky.HybridSkylineScratch(d.Rel, localsky.Query{Pos: q.Pos, D: q.D}, nil, d.VDRFunc(), sc)
+	res.Skyline = localsky.CloneTuples(res.Skyline)
+	localsky.PutScratch(sc)
 	q = q.WithFilter(res.Filter, res.FilterVDR)
 	if d.NumFilters > 1 && len(res.Skyline) > 1 {
 		hi := VDRBounds(d.Mode, d.Schema, d.Rel, d.OverFactor)
@@ -93,13 +96,20 @@ func (d *Device) Originate(pos tuple.Point, dist float64) (Query, localsky.Resul
 // supplies the size for accounting. Result.Stats reflects only the work the
 // protocol actually performed.
 func (d *Device) Process(q Query) localsky.Result {
-	res := localsky.HybridSkyline(d.Rel, localsky.Query{Pos: q.Pos, D: q.D}, q.Filter, d.VDRFunc())
+	sc := localsky.GetScratch()
+	res := localsky.HybridSkylineScratch(d.Rel, localsky.Query{Pos: q.Pos, D: q.D}, q.Filter, d.VDRFunc(), sc)
 	if res.Stats.SkippedFilter {
+		// The skipped scan produced no skyline, so reusing sc for the
+		// shadow evaluation clobbers nothing.
 		stats := res.Stats
-		shadow := localsky.HybridSkyline(d.Rel, localsky.Query{Pos: q.Pos, D: q.D}, nil, nil)
+		shadow := localsky.HybridSkylineScratch(d.Rel, localsky.Query{Pos: q.Pos, D: q.D}, nil, nil, sc)
 		res.Unreduced = shadow.Unreduced
 		res.Stats = stats
 	}
+	// Callers retain and merge results, so detach the skyline from the
+	// scratch before recycling it; the filter is already detached.
+	res.Skyline = localsky.CloneTuples(res.Skyline)
+	localsky.PutScratch(sc)
 	if len(q.Extra) > 0 {
 		res.Skyline = ApplyFilters(res.Skyline, q.Extra)
 	}

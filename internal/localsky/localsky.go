@@ -112,6 +112,18 @@ type Result struct {
 // drawn from some device's constrained local skyline), which is what makes
 // pruning with it safe.
 func HybridSkyline(rel *storage.Hybrid, q Query, flt *tuple.Tuple, vdr VDRFunc) Result {
+	return HybridSkylineScratch(rel, q, flt, vdr, nil)
+}
+
+// HybridSkylineScratch is HybridSkyline evaluating through the given
+// Scratch, which eliminates every steady-state heap allocation on the
+// non-spatial-index path: the decoded-ID buffer, the accepted-slot slice,
+// and the result tuples (including their attribute storage) all live in sc
+// and are reused across calls. The returned Result.Skyline aliases sc and
+// is valid only until sc's next use; Result.Filter is always detached and
+// safe to retain. A nil sc falls back to per-call allocation, which is
+// exactly HybridSkyline.
+func HybridSkylineScratch(rel *storage.Hybrid, q Query, flt *tuple.Tuple, vdr VDRFunc, sc *Scratch) Result {
 	res := Result{Filter: flt}
 	if flt != nil && vdr != nil {
 		res.FilterVDR = vdr(*flt)
@@ -169,93 +181,186 @@ func HybridSkyline(rel *storage.Hybrid, q Query, flt *tuple.Tuple, vdr VDRFunc) 
 	count := rel.Len()
 	if order != nil {
 		count = len(order)
-		ids = rel.DecodeIDsFor(order)
+		if sc != nil {
+			sc.ids = rel.DecodeIDsForInto(sc.ids, order)
+			ids = sc.ids
+		} else {
+			ids = rel.DecodeIDsFor(order)
+		}
+	} else if sc != nil {
+		sc.ids = rel.DecodeIDsInto(sc.ids)
+		ids = sc.ids
 	} else {
 		ids = rel.DecodeIDs()
 	}
-	origIdx := func(slot int) int {
-		if order != nil {
-			return int(order[slot])
-		}
-		return slot
-	}
 
 	var sky []int // slots of accepted skyline tuples
+	if sc != nil {
+		sky = sc.sky[:0]
+	}
+	constrained := !q.unconstrained()
+	scanned, inRange, distChecks, idCmp := 0, 0, 0, 0
 	for s := 0; s < count; s++ {
-		res.Stats.Scanned++
-		if !q.unconstrained() {
-			res.Stats.DistChecks++
-			if !q.inRange(rel.Pos(origIdx(s))) {
+		scanned++
+		if constrained {
+			i := s
+			if order != nil {
+				i = int(order[s])
+			}
+			distChecks++
+			if !q.inRange(rel.Pos(i)) {
 				continue
 			}
 		}
-		res.Stats.InRange++
-		row := ids[s*dim : (s+1)*dim]
-		dominated := false
-		for _, k := range sky {
-			krow := ids[k*dim : (k+1)*dim]
-			leqAll := true
-			strict := false
-			for j := 0; j < dim; j++ {
-				if j == sa {
-					continue
-				}
-				res.Stats.IDCmp++
-				a, b := krow[j], row[j]
-				if a > b {
-					leqAll = false
-					break
-				}
-				if a < b {
-					strict = true
-				}
-			}
-			if leqAll && !strict {
-				// Full tie on the other attributes: dominance now hinges on
-				// the sorted attribute, the one comparison the presort
-				// usually makes unnecessary.
-				res.Stats.IDCmp++
-				strict = krow[sa] < row[sa]
-			}
-			if leqAll && strict {
-				dominated = true
-				break
-			}
+		inRange++
+		var dominated bool
+		var cmp int
+		if dim == 2 {
+			dominated, cmp = dominated2(ids, sky, s, sa)
+		} else {
+			dominated, cmp = dominatedN(ids, sky, s, dim, sa)
 		}
+		idCmp += cmp
 		if !dominated {
 			sky = append(sky, s)
 		}
 	}
+	if sc != nil {
+		sc.sky = sky
+	}
+	res.Stats.Scanned += scanned
+	res.Stats.InRange += inRange
+	res.Stats.DistChecks += distChecks
+	res.Stats.IDCmp += idCmp
 	res.Unreduced = len(sky)
 
-	// Filter application and max-VDR pick-up in one pass over SK_i.
-	var bestLocal *tuple.Tuple
+	// Filter application and max-VDR pick-up in one pass over SK_i. With a
+	// Scratch, survivors are materialized into one pre-sized backing array
+	// (pre-sizing keeps earlier tuples' Attrs slices valid as it fills).
+	var out []tuple.Tuple
+	var attrs []float64
+	if sc != nil {
+		out = sc.tuples[:0]
+		if need := len(sky) * dim; cap(sc.attrs) < need {
+			sc.attrs = make([]float64, 0, need)
+		}
+		attrs = sc.attrs[:0]
+	}
+	bestSlot := -1
 	bestVDR := math.Inf(-1)
 	for _, k := range sky {
-		t := rel.Tuple(origIdx(k))
+		i := k
+		if order != nil {
+			i = int(order[k])
+		}
+		var t tuple.Tuple
+		if sc != nil {
+			start := len(attrs)
+			attrs = rel.AppendAttrs(attrs, i)
+			t = tuple.Tuple{X: rel.Pos(i).X, Y: rel.Pos(i).Y, Attrs: attrs[start:len(attrs):len(attrs)]}
+		} else {
+			t = rel.Tuple(i)
+		}
 		if flt != nil {
 			res.Stats.ValCmp += dim
 			if flt.Dominates(t) {
+				if sc != nil {
+					attrs = attrs[:len(attrs)-dim]
+				}
 				continue
 			}
 		}
-		res.Skyline = append(res.Skyline, t)
+		out = append(out, t)
 		if vdr != nil {
 			if v := vdr(t); v > bestVDR {
 				bestVDR = v
-				tt := t
-				bestLocal = &tt
+				bestSlot = i
 			}
 		}
 	}
+	if sc != nil {
+		sc.tuples = out
+		sc.attrs = attrs
+	}
+	res.Skyline = out
 
 	// Dynamic filter update (§3.4): adopt the local tuple when it prunes
-	// harder than the current filter.
-	if bestLocal != nil && (flt == nil || bestVDR > res.FilterVDR) {
-		res.Filter = bestLocal
+	// harder than the current filter. The picked tuple is re-materialized
+	// on the heap so the filter outlives any Scratch reuse (it travels in
+	// forwarded queries).
+	if bestSlot >= 0 && (flt == nil || bestVDR > res.FilterVDR) {
+		t := rel.Tuple(bestSlot)
+		res.Filter = &t
 		res.FilterVDR = bestVDR
 	}
 	return res
+}
+
+// dominated2 is the dominance kernel for the dominant dim==2 case: with a
+// single attribute besides the sort key, the generic per-attribute loop
+// collapses to one comparison plus the sorted-attribute tie-break. It
+// returns whether slot s is dominated by any accepted slot and how many ID
+// comparisons that took (identical to the generic kernel's count, so the
+// device cost model sees the same work).
+func dominated2(ids []uint32, sky []int, s, sa int) (bool, int) {
+	j := 1 - sa
+	b := ids[2*s+j]
+	bs := ids[2*s+sa]
+	cmp := 0
+	for _, k := range sky {
+		cmp++
+		a := ids[2*k+j]
+		if a > b {
+			continue // not ≤ on the free attribute: k cannot dominate s
+		}
+		if a < b {
+			return true, cmp // ≤ everywhere (presort) and strictly better
+		}
+		// Full tie on the free attribute: dominance hinges on the sorted
+		// attribute, the one comparison the presort usually skips.
+		cmp++
+		if ids[2*k+sa] < bs {
+			return true, cmp
+		}
+	}
+	return false, cmp
+}
+
+// dominatedN is the general dominance kernel over the flat row-major ID
+// array, preserving the Figure 4 comparison skip on the sorted attribute.
+func dominatedN(ids []uint32, sky []int, s, dim, sa int) (bool, int) {
+	row := ids[s*dim : (s+1)*dim]
+	cmp := 0
+	for _, k := range sky {
+		krow := ids[k*dim : (k+1)*dim]
+		leqAll := true
+		strict := false
+		for j := 0; j < dim; j++ {
+			if j == sa {
+				continue
+			}
+			cmp++
+			a, b := krow[j], row[j]
+			if a > b {
+				leqAll = false
+				break
+			}
+			if a < b {
+				strict = true
+			}
+		}
+		if leqAll && !strict {
+			// Full tie on the other attributes: dominance now hinges on
+			// the sorted attribute, the one comparison the presort
+			// usually makes unnecessary.
+			cmp++
+			strict = krow[sa] < row[sa]
+		}
+		if leqAll && strict {
+			return true, cmp
+		}
+	}
+	return false, cmp
 }
 
 // BNLSkyline evaluates the same local query with block-nested-loop over any
@@ -263,6 +368,15 @@ func HybridSkyline(rel *storage.Hybrid, q Query, flt *tuple.Tuple, vdr VDRFunc) 
 // storage. Every dominance test dereferences and compares raw attribute
 // values, which is precisely the cost hybrid storage avoids.
 func BNLSkyline(rel storage.Relation, q Query, flt *tuple.Tuple, vdr VDRFunc) Result {
+	return BNLSkylineScratch(rel, q, flt, vdr, nil)
+}
+
+// BNLSkylineScratch is BNLSkyline with the window and result buffers drawn
+// from sc under the same aliasing contract as HybridSkylineScratch. BNL's
+// dominance tests still dereference raw values through the storage model —
+// that indirection is the baseline's point — so only the bookkeeping, not
+// the comparisons, changes with a Scratch.
+func BNLSkylineScratch(rel storage.Relation, q Query, flt *tuple.Tuple, vdr VDRFunc, sc *Scratch) Result {
 	res := Result{Filter: flt}
 	if flt != nil && vdr != nil {
 		res.FilterVDR = vdr(*flt)
@@ -298,6 +412,9 @@ func BNLSkyline(rel storage.Relation, q Query, flt *tuple.Tuple, vdr VDRFunc) Re
 	}
 
 	var window []int
+	if sc != nil {
+		window = sc.sky[:0]
+	}
 next:
 	for i := 0; i < rel.Len(); i++ {
 		res.Stats.Scanned++
@@ -321,29 +438,59 @@ next:
 		}
 		window = append(keep, i)
 	}
+	if sc != nil {
+		sc.sky = window
+	}
 	res.Unreduced = len(window)
 
-	var bestLocal *tuple.Tuple
+	var out []tuple.Tuple
+	var attrs []float64
+	if sc != nil {
+		out = sc.tuples[:0]
+		if need := len(window) * dim; cap(sc.attrs) < need {
+			sc.attrs = make([]float64, 0, need)
+		}
+		attrs = sc.attrs[:0]
+	}
+	bestIdx := -1
 	bestVDR := math.Inf(-1)
 	for _, w := range window {
-		t := rel.Tuple(w)
+		var t tuple.Tuple
+		if sc != nil {
+			start := len(attrs)
+			for j := 0; j < dim; j++ {
+				attrs = append(attrs, value(w, j))
+			}
+			p := rel.Pos(w)
+			t = tuple.Tuple{X: p.X, Y: p.Y, Attrs: attrs[start:len(attrs):len(attrs)]}
+		} else {
+			t = rel.Tuple(w)
+		}
 		if flt != nil {
 			res.Stats.ValCmp += dim
 			if flt.Dominates(t) {
+				if sc != nil {
+					attrs = attrs[:len(attrs)-dim]
+				}
 				continue
 			}
 		}
-		res.Skyline = append(res.Skyline, t)
+		out = append(out, t)
 		if vdr != nil {
 			if v := vdr(t); v > bestVDR {
 				bestVDR = v
-				tt := t
-				bestLocal = &tt
+				bestIdx = w
 			}
 		}
 	}
-	if bestLocal != nil && (flt == nil || bestVDR > res.FilterVDR) {
-		res.Filter = bestLocal
+	if sc != nil {
+		sc.tuples = out
+		sc.attrs = attrs
+	}
+	res.Skyline = out
+	if bestIdx >= 0 && (flt == nil || bestVDR > res.FilterVDR) {
+		t := rel.Tuple(bestIdx)
+		res.Filter = &t
 		res.FilterVDR = bestVDR
 	}
 	return res

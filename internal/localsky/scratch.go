@@ -1,0 +1,64 @@
+package localsky
+
+import (
+	"sync"
+
+	"manetskyline/internal/tuple"
+)
+
+// Scratch holds the reusable working memory of one skyline evaluation: the
+// decoded-ID buffer, the accepted-slot slice, and the backing storage for
+// materialized result tuples. A query over n tuples decodes n·dim IDs; with
+// a Scratch that buffer (and everything else on the hot path) is reused, so
+// steady-state evaluation performs zero heap allocations.
+//
+// A Scratch is owned by one evaluation at a time. Results produced with a
+// Scratch alias its buffers: Result.Skyline (and the Attrs of its tuples)
+// are valid only until the Scratch is used again or returned to the pool.
+// Callers that retain results must copy them first (see CloneTuples);
+// Result.Filter is always safe to retain.
+type Scratch struct {
+	ids    []uint32
+	sky    []int
+	tuples []tuple.Tuple
+	attrs  []float64
+}
+
+// scratchPool recycles evaluation buffers across queries. Devices process
+// one query at a time but many devices evaluate concurrently under the
+// parallel bench harness, which is exactly the sharing pattern sync.Pool
+// handles: each worker reuses a warm Scratch without cross-goroutine
+// coordination.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch borrows a Scratch from the shared pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns a Scratch to the shared pool. The caller must not use
+// it, or any un-copied Result produced with it, afterwards.
+func PutScratch(sc *Scratch) {
+	if sc != nil {
+		scratchPool.Put(sc)
+	}
+}
+
+// CloneTuples compacts ts into fresh heap storage: one tuple slice plus one
+// shared attribute backing array, detached from any Scratch. It returns nil
+// for an empty input.
+func CloneTuples(ts []tuple.Tuple) []tuple.Tuple {
+	if len(ts) == 0 {
+		return nil
+	}
+	total := 0
+	for _, t := range ts {
+		total += len(t.Attrs)
+	}
+	backing := make([]float64, 0, total)
+	out := make([]tuple.Tuple, len(ts))
+	for i, t := range ts {
+		start := len(backing)
+		backing = append(backing, t.Attrs...)
+		out[i] = tuple.Tuple{X: t.X, Y: t.Y, Attrs: backing[start:len(backing):len(backing)]}
+	}
+	return out
+}

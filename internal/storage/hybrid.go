@@ -335,26 +335,60 @@ func (h *Hybrid) IDToValue(j, id int) float64 { return h.domains[j][id] }
 // decodes once and runs its dominance tests over this flat array — the
 // in-register form the paper's byte IDs take on a real device.
 func (h *Hybrid) DecodeIDs() []uint32 {
-	out := make([]uint32, len(h.pos)*h.dim)
-	for j := 0; j < h.dim; j++ {
-		h.ids[j].decode(out[j:], h.dim)
+	return h.DecodeIDsInto(nil)
+}
+
+// DecodeIDsInto is DecodeIDs writing into dst, which is grown only when its
+// capacity is insufficient; the (possibly reallocated) buffer is returned.
+// Steady-state query processing reuses one buffer across calls and performs
+// no allocation.
+func (h *Hybrid) DecodeIDsInto(dst []uint32) []uint32 {
+	n := len(h.pos) * h.dim
+	if cap(dst) < n {
+		dst = make([]uint32, n)
+	} else {
+		dst = dst[:n]
 	}
-	return out
+	for j := 0; j < h.dim; j++ {
+		h.ids[j].decode(dst[j:], h.dim)
+	}
+	return dst
 }
 
 // DecodeIDsFor widens only the given tuples' ID vectors, row-major in the
 // order given: candidate k occupies ids[k*Dim() : (k+1)*Dim()]. Selective
 // range queries decode just their candidates instead of the whole relation.
 func (h *Hybrid) DecodeIDsFor(idx []int32) []uint32 {
-	out := make([]uint32, len(idx)*h.dim)
+	return h.DecodeIDsForInto(nil, idx)
+}
+
+// DecodeIDsForInto is DecodeIDsFor writing into dst under the same reuse
+// contract as DecodeIDsInto.
+func (h *Hybrid) DecodeIDsForInto(dst []uint32, idx []int32) []uint32 {
+	n := len(idx) * h.dim
+	if cap(dst) < n {
+		dst = make([]uint32, n)
+	} else {
+		dst = dst[:n]
+	}
 	at := 0
 	for _, i := range idx {
 		for j := 0; j < h.dim; j++ {
-			out[at] = uint32(h.ids[j].get(int(i)))
+			dst[at] = uint32(h.ids[j].get(int(i)))
 			at++
 		}
 	}
-	return out
+	return dst
+}
+
+// AppendAttrs appends tuple i's decoded attribute values to dst and returns
+// the extended slice, letting callers materialize skyline members into one
+// shared backing array instead of one allocation per tuple.
+func (h *Hybrid) AppendAttrs(dst []float64, i int) []float64 {
+	for j := 0; j < h.dim; j++ {
+		dst = append(dst, h.domains[j][h.ids[j].get(i)])
+	}
+	return dst
 }
 
 // MemBytes counts inline positions, ID columns at their native width, and

@@ -266,3 +266,69 @@ func TestModelNames(t *testing.T) {
 		}
 	}
 }
+
+func TestDecodeIDsIntoReusesBuffer(t *testing.T) {
+	data := gen.Generate(gen.DefaultConfig(500, 3, gen.Independent, 5))
+	h := NewHybrid(data)
+
+	want := h.DecodeIDs()
+	got := h.DecodeIDsInto(nil)
+	if len(got) != len(want) {
+		t.Fatalf("DecodeIDsInto(nil) len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DecodeIDsInto(nil)[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	// A big-enough buffer must be reused, not reallocated.
+	buf := make([]uint32, 0, len(want)+64)
+	got = h.DecodeIDsInto(buf)
+	if &got[0] != &buf[:1][0] {
+		t.Errorf("DecodeIDsInto should reuse the provided buffer")
+	}
+
+	// Undersized buffers are replaced.
+	got = h.DecodeIDsInto(make([]uint32, 1))
+	if len(got) != len(want) {
+		t.Errorf("undersized buffer: len %d, want %d", len(got), len(want))
+	}
+}
+
+func TestDecodeIDsForIntoMatchesDecodeIDsFor(t *testing.T) {
+	data := gen.Generate(gen.DefaultConfig(400, 2, gen.AntiCorrelated, 6))
+	h := NewHybrid(data)
+	idx := []int32{3, 17, 99, 255}
+	want := h.DecodeIDsFor(idx)
+	buf := make([]uint32, 0, len(idx)*h.Dim())
+	got := h.DecodeIDsForInto(buf, idx)
+	if len(got) != len(want) {
+		t.Fatalf("len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Errorf("DecodeIDsForInto should reuse the provided buffer")
+	}
+}
+
+func TestAppendAttrsMatchesTuple(t *testing.T) {
+	data := gen.Generate(gen.DefaultConfig(200, 4, gen.Independent, 7))
+	h := NewHybrid(data)
+	var attrs []float64
+	for i := 0; i < h.Len(); i++ {
+		start := len(attrs)
+		attrs = h.AppendAttrs(attrs, i)
+		want := h.Tuple(i).Attrs
+		got := attrs[start:]
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("tuple %d attr %d = %v, want %v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
