@@ -1,0 +1,47 @@
+package aodv
+
+import (
+	"testing"
+
+	"manetskyline/internal/mobility"
+	"manetskyline/internal/radio"
+	"manetskyline/internal/sim"
+	"manetskyline/internal/tuple"
+)
+
+type benchPayload struct{}
+
+func (benchPayload) SizeBytes() int { return 64 }
+
+// BenchmarkRREQFlood measures one full route discovery across a 7×7 static
+// multi-hop grid: the RREQ flood wave (every node rebroadcasts once), the
+// RREP travelling back, and the data packet following the route. Each
+// iteration waits out the route and seen-table lifetimes so discovery
+// starts cold every time.
+func BenchmarkRREQFlood(b *testing.B) {
+	eng := sim.NewEngine(1)
+	med := radio.New(eng, radio.DefaultConfig())
+	net := New(eng, med, DefaultConfig())
+	const side = 7
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			net.AddNode(mobility.Static(tuple.Point{X: float64(c) * 150, Y: float64(r) * 150}), nil, nil)
+		}
+	}
+	src, dst := radio.NodeID(0), radio.NodeID(side*side-1)
+	send := func() { net.Send(src, dst, benchPayload{}) }
+	send()
+	eng.RunAll() // warm up: first discovery + delivery
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// 60 s later both the route (15 s lifetime) and the RREQ dedup
+		// entries (30 s) have expired, so this is a cold flood again.
+		eng.Schedule(60, send)
+		eng.RunAll()
+	}
+	b.StopTimer()
+	if net.Counters.RREQSent == 0 || net.Counters.DataDelivered == 0 {
+		b.Fatalf("flood did not happen: %+v", net.Counters)
+	}
+}

@@ -1,0 +1,36 @@
+package manet
+
+import "testing"
+
+// benchScenarioParams is the end-to-end benchmark scenario: the paper's
+// largest network (10×10 grid = 100 devices) moving under random waypoint,
+// at reduced cardinality and duration so one run stays benchmark-sized.
+func benchScenarioParams(strategy Forwarding) Params {
+	p := DefaultParams()
+	p.Grid = 10
+	p.GlobalN = 10000
+	p.Strategy = strategy
+	p.SimTime = 600
+	p.MinQueries, p.MaxQueries = 1, 1
+	p.Seed = 11
+	return p
+}
+
+var benchOutcomeSink *Outcome
+
+// BenchmarkScenarioSmall runs one complete mobile MANET scenario at 100
+// devices end to end: dataset generation, the discrete-event run with AODV
+// routing and BF query floods, and metric collection. This is the unit of
+// work the Figure 8-12 sweeps fan out per data point.
+func BenchmarkScenarioSmall(b *testing.B) {
+	for _, strategy := range []Forwarding{BreadthFirst, DepthFirst} {
+		b.Run(strategy.String(), func(b *testing.B) {
+			p := benchScenarioParams(strategy)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchOutcomeSink = Run(p)
+			}
+		})
+	}
+}

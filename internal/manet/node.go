@@ -1,8 +1,6 @@
 package manet
 
 import (
-	"sort"
-
 	"manetskyline/internal/core"
 	"manetskyline/internal/localsky"
 	"manetskyline/internal/radio"
@@ -21,6 +19,9 @@ type node struct {
 	// busy marks a query in progress as originator (§5.2.1: a device does
 	// not issue a new query while one is outstanding).
 	busy bool
+
+	// nbBuf is the reused neighbor buffer for DF forwarding decisions.
+	nbBuf []radio.NodeID
 
 	bf map[core.QueryKey]*bfOrigState
 	df map[core.QueryKey]*dfState
@@ -181,8 +182,11 @@ func (n *node) dfTryNext(st *dfState) {
 	if st.done || st.waitingAck || st.waitingChild >= 0 {
 		return
 	}
-	neighbors := n.sc.med.Neighbors(n.id)
-	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
+	// NeighborsInto returns IDs in ascending order, which is the traversal
+	// order DF wants, and reusing the buffer keeps the per-hop decision
+	// allocation-free.
+	neighbors := n.sc.med.NeighborsInto(n.id, n.nbBuf)
+	n.nbBuf = neighbors[:0]
 	next := radio.NodeID(-1)
 	for _, nb := range neighbors {
 		if !st.tried[nb] {

@@ -64,6 +64,7 @@ type Waypoint struct {
 	cfg  Config
 	rng  *rand.Rand
 	legs []leg // materialized prefix of the trajectory
+	cur  int   // last-hit leg index; simulation queries are near-monotonic
 }
 
 // leg covers [t0, t1): movement from a to b, then a pause until t1.
@@ -110,8 +111,16 @@ func (w *Waypoint) nextLeg(t0 float64, from tuple.Point) leg {
 	return leg{t0: t0, moveEnd: t0 + travel, t1: t0 + travel + w.cfg.Pause, from: from, to: to}
 }
 
+// covers reports whether leg i is the covering leg for time t, i.e. the
+// first leg whose end time reaches t — the exact element the binary search
+// finds.
+func (w *Waypoint) covers(i int, t float64) bool {
+	return w.legs[i].t1 >= t && (i == 0 || w.legs[i-1].t1 < t)
+}
+
 // Pos returns the node's position at time t. Times before zero clamp to the
-// starting position.
+// starting position. Position remains a pure function of t; the leg cursor
+// only short-circuits the search, so queries may arrive in any order.
 func (w *Waypoint) Pos(t float64) tuple.Point {
 	if t <= 0 {
 		return w.legs[0].from
@@ -121,17 +130,31 @@ func (w *Waypoint) Pos(t float64) tuple.Point {
 		last := w.legs[len(w.legs)-1]
 		w.legs = append(w.legs, w.nextLeg(last.t1, last.to))
 	}
-	// Binary search for the covering leg.
-	lo, hi := 0, len(w.legs)-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if w.legs[mid].t1 < t {
-			lo = mid + 1
+	// Simulation time crawls forward, so the covering leg is almost always
+	// the last-hit leg or its successor; fall back to binary search when
+	// the query jumps elsewhere.
+	i := w.cur
+	if i >= len(w.legs) {
+		i = len(w.legs) - 1
+	}
+	if !w.covers(i, t) {
+		if i+1 < len(w.legs) && w.covers(i+1, t) {
+			i++
 		} else {
-			hi = mid
+			lo, hi := 0, len(w.legs)-1
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if w.legs[mid].t1 < t {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			i = lo
 		}
 	}
-	l := w.legs[lo]
+	w.cur = i
+	l := w.legs[i]
 	if t >= l.moveEnd {
 		return l.to // pausing
 	}

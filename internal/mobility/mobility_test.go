@@ -2,6 +2,7 @@ package mobility
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"manetskyline/internal/tuple"
@@ -155,5 +156,29 @@ func TestLegsCoverLongHorizons(t *testing.T) {
 	p := w.Pos(100000) // ~28 simulated hours
 	if math.IsNaN(p.X) || math.IsNaN(p.Y) {
 		t.Fatalf("position is NaN")
+	}
+}
+
+// TestWaypointCursorPurity checks that the leg cursor is invisible: a
+// trajectory queried in an adversarial random order returns bit-identical
+// positions to a fresh instance of the same seed queried monotonically.
+func TestWaypointCursorPurity(t *testing.T) {
+	const seed = 23
+	ref := NewWaypoint(DefaultConfig(), seed)
+	times := make([]float64, 200)
+	want := make([]tuple.Point, len(times))
+	for i := range times {
+		times[i] = float64(i) * 7.3
+		want[i] = ref.Pos(times[i])
+	}
+	w := NewWaypoint(DefaultConfig(), seed)
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 3; trial++ {
+		for _, i := range r.Perm(len(times)) {
+			if got := w.Pos(times[i]); got != want[i] {
+				t.Fatalf("t=%g: cursor-order query %v != monotonic reference %v",
+					times[i], got, want[i])
+			}
+		}
 	}
 }

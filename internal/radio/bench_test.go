@@ -1,0 +1,62 @@
+package radio
+
+import (
+	"fmt"
+	"testing"
+
+	"manetskyline/internal/mobility"
+	"manetskyline/internal/sim"
+)
+
+// benchMedium builds a medium with m random-waypoint nodes mid-trajectory,
+// the configuration the Figure 8-12 sweeps stress (9-100 devices moving in
+// the 1 km² field).
+func benchMedium(m int) (*sim.Engine, *Medium) {
+	eng := sim.NewEngine(7)
+	med := New(eng, DefaultConfig())
+	cfg := mobility.DefaultConfig()
+	for i := 0; i < m; i++ {
+		med.AddNode(mobility.NewWaypoint(cfg, int64(i+1)), func(NodeID, Payload) {})
+	}
+	eng.Run(100) // advance the clock so every node is mid-trajectory
+	return eng, med
+}
+
+var benchNeighborSink []NodeID
+
+// BenchmarkNeighborsGrid measures one neighbor-set query at the paper's
+// three network sizes; the AODV RREQ flood and the BF query flood issue one
+// of these per rebroadcast, so this is the simulation's dominant inner loop.
+func BenchmarkNeighborsGrid(b *testing.B) {
+	for _, m := range []int{9, 49, 100} {
+		b.Run(fmt.Sprintf("nodes=%d", m), func(b *testing.B) {
+			_, med := benchMedium(m)
+			buf := make([]NodeID, 0, m)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchNeighborSink = med.NeighborsInto(NodeID(i%m), buf[:0])
+			}
+		})
+	}
+}
+
+type benchPayload int
+
+func (p benchPayload) SizeBytes() int { return int(p) }
+
+// BenchmarkBroadcast measures a full broadcast (neighbor set + transmit
+// accounting + delivery events) plus the engine work to drain it.
+func BenchmarkBroadcast(b *testing.B) {
+	for _, m := range []int{9, 100} {
+		b.Run(fmt.Sprintf("nodes=%d", m), func(b *testing.B) {
+			eng, med := benchMedium(m)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				med.Broadcast(NodeID(i%m), benchPayload(64))
+				eng.RunAll()
+			}
+		})
+	}
+}

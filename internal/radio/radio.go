@@ -5,11 +5,22 @@
 // each node serializes its own transmissions (a half-duplex radio); frames
 // are lost when the receiver moves out of range mid-flight or by an
 // independent loss probability that models contention and fading.
+//
+// Spatial queries run on a uniform hash grid with cell side equal to the
+// transmission range: a neighbor query probes only the 3×3 cell block
+// around the asking node instead of scanning every node. Node positions and
+// grid cells are lazily refreshed once per engine timestep (positions are a
+// pure function of simulated time, so every event at the same instant sees
+// the same memoized positions). Broadcast delivery is a single pooled event
+// that iterates its captured receiver list, keeping the steady-state
+// transmit path allocation-free.
 package radio
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"slices"
 
 	"manetskyline/internal/mobility"
 	"manetskyline/internal/sim"
@@ -106,8 +117,25 @@ type Counters struct {
 type Medium struct {
 	eng   *sim.Engine
 	cfg   Config
-	nodes []*node
+	nodes []node
 	rng   *rand.Rand
+
+	// Spatial grid over node positions, cell side = Range. A neighbor
+	// query probes the 3×3 block around the asking node's cell; cells are
+	// rebuilt lazily at most once per engine timestep. The grid is a dense
+	// array over the occupied cell bounding box — node fields are bounded
+	// (mobility spaces are), so this stays small and avoids hashing.
+	cells    []cell
+	gridMin  cellKey // cell coordinate of cells[0]
+	gridW    int32   // columns in the dense array
+	gridH    int32   // rows in the dense array
+	gridTime float64
+	gridOK   bool
+	scratch  []NodeID // candidate buffer for grid probes
+
+	// free is the pool of delivery events; a delivery returns itself here
+	// after it runs, so steady-state transmission allocates nothing.
+	free []*delivery
 
 	// Counters is exported for metric collection; reset between scenarios
 	// if per-run deltas are needed.
@@ -119,7 +147,18 @@ type node struct {
 	mob       mobility.Model
 	handler   Handler
 	busyUntil float64
+
+	// Per-timestep position memo: positions are a pure function of the
+	// engine clock, so one event never recomputes the same node's position.
+	posAt float64
+	posOK bool
+	pos   tuple.Point
+	cell  cellKey // grid cell at the memoized position
 }
+
+type cellKey struct{ cx, cy int32 }
+
+type cell struct{ ids []NodeID }
 
 // New creates an empty medium on the given engine.
 func New(eng *sim.Engine, cfg Config) *Medium {
@@ -140,16 +179,28 @@ func (m *Medium) AddNode(mob mobility.Model, h Handler) NodeID {
 		panic("radio: nil handler")
 	}
 	id := NodeID(len(m.nodes))
-	m.nodes = append(m.nodes, &node{id: id, mob: mob, handler: h})
+	m.nodes = append(m.nodes, node{id: id, mob: mob, handler: h})
+	m.gridOK = false
 	return id
 }
 
 // NumNodes returns the number of registered nodes.
 func (m *Medium) NumNodes() int { return len(m.nodes) }
 
+// posOf returns n's memoized position at the current engine time.
+func (m *Medium) posOf(n *node) tuple.Point {
+	now := m.eng.Now()
+	if !n.posOK || n.posAt != now {
+		n.pos = n.mob.Pos(now)
+		n.posAt = now
+		n.posOK = true
+	}
+	return n.pos
+}
+
 // PosOf returns a node's current position.
 func (m *Medium) PosOf(id NodeID) tuple.Point {
-	return m.nodes[id].mob.Pos(m.eng.Now())
+	return m.posOf(&m.nodes[id])
 }
 
 // InRange reports whether two nodes can currently hear each other.
@@ -157,22 +208,132 @@ func (m *Medium) InRange(a, b NodeID) bool {
 	if a == b {
 		return false
 	}
-	return m.PosOf(a).WithinDist(m.PosOf(b), m.cfg.Range)
+	return m.posOf(&m.nodes[a]).WithinDist(m.posOf(&m.nodes[b]), m.cfg.Range)
+}
+
+// cellOf maps a position to its grid cell (cell side = Range).
+func (m *Medium) cellOf(p tuple.Point) cellKey {
+	return cellKey{
+		cx: int32(math.Floor(p.X / m.cfg.Range)),
+		cy: int32(math.Floor(p.Y / m.cfg.Range)),
+	}
+}
+
+// refreshGrid rebuilds the spatial index for the current engine timestep if
+// it is stale: one pass memoizes every node's position and cell and tracks
+// the occupied cell bounding box, a second pass buckets the nodes. Nodes are
+// inserted in ID order, so every cell's list is ID-sorted; buckets keep
+// their capacity across rebuilds.
+func (m *Medium) refreshGrid() {
+	now := m.eng.Now()
+	if m.gridOK && m.gridTime == now {
+		return
+	}
+	if len(m.nodes) == 0 {
+		m.gridW, m.gridH = 0, 0
+		m.gridTime = now
+		m.gridOK = true
+		return
+	}
+	min := m.cellOf(m.posOf(&m.nodes[0]))
+	max := min
+	m.nodes[0].cell = min
+	for i := 1; i < len(m.nodes); i++ {
+		n := &m.nodes[i]
+		k := m.cellOf(m.posOf(n))
+		n.cell = k
+		if k.cx < min.cx {
+			min.cx = k.cx
+		} else if k.cx > max.cx {
+			max.cx = k.cx
+		}
+		if k.cy < min.cy {
+			min.cy = k.cy
+		} else if k.cy > max.cy {
+			max.cy = k.cy
+		}
+	}
+	m.gridMin = min
+	m.gridW = max.cx - min.cx + 1
+	m.gridH = max.cy - min.cy + 1
+	size := int(m.gridW) * int(m.gridH)
+	for len(m.cells) < size {
+		m.cells = append(m.cells, cell{})
+	}
+	for i := 0; i < size; i++ {
+		m.cells[i].ids = m.cells[i].ids[:0]
+	}
+	for i := range m.nodes {
+		k := m.nodes[i].cell
+		idx := int(k.cy-min.cy)*int(m.gridW) + int(k.cx-min.cx)
+		m.cells[idx].ids = append(m.cells[idx].ids, NodeID(i))
+	}
+	m.gridTime = now
+	m.gridOK = true
 }
 
 // Neighbors returns the nodes currently within range of id, in ID order.
 func (m *Medium) Neighbors(id NodeID) []NodeID {
-	var out []NodeID
-	p := m.PosOf(id)
-	for _, n := range m.nodes {
-		if n.id == id {
-			continue
+	return m.NeighborsInto(id, nil)
+}
+
+// NeighborsInto appends the nodes currently within range of id to buf[:0],
+// in ID order, and returns the result. Passing a reused buffer makes the
+// query allocation-free: only the 3×3 cell block around id is probed. When
+// the block covers every occupied cell — the norm at the paper's geometry,
+// where Range is a large fraction of the field — the probe degenerates to a
+// direct scan over the memoized positions, with no gather or re-sort.
+func (m *Medium) NeighborsInto(id NodeID, buf []NodeID) []NodeID {
+	buf = buf[:0]
+	m.refreshGrid()
+	self := &m.nodes[id]
+	p := self.pos // memoized by refreshGrid
+	ck := self.cell
+	// Clip the 3×3 block to the occupied bounding box (local coordinates).
+	bx0, bx1 := ck.cx-1-m.gridMin.cx, ck.cx+1-m.gridMin.cx
+	by0, by1 := ck.cy-1-m.gridMin.cy, ck.cy+1-m.gridMin.cy
+	if bx0 < 0 {
+		bx0 = 0
+	}
+	if by0 < 0 {
+		by0 = 0
+	}
+	if bx1 >= m.gridW {
+		bx1 = m.gridW - 1
+	}
+	if by1 >= m.gridH {
+		by1 = m.gridH - 1
+	}
+	if bx0 == 0 && by0 == 0 && bx1 == m.gridW-1 && by1 == m.gridH-1 {
+		// Full coverage: every node is a candidate, already in ID order.
+		for i := range m.nodes {
+			n := &m.nodes[i]
+			if n.id != id && p.WithinDist(n.pos, m.cfg.Range) {
+				buf = append(buf, n.id)
+			}
 		}
-		if p.WithinDist(n.mob.Pos(m.eng.Now()), m.cfg.Range) {
-			out = append(out, n.id)
+		return buf
+	}
+	cand := m.scratch[:0]
+	for cy := by0; cy <= by1; cy++ {
+		row := int(cy) * int(m.gridW)
+		for cx := bx0; cx <= bx1; cx++ {
+			cand = append(cand, m.cells[row+int(cx)].ids...)
 		}
 	}
-	return out
+	// Cells are visited in block order, so candidates must be re-sorted to
+	// restore the global ID order the brute-force scan produced.
+	slices.Sort(cand)
+	for _, nid := range cand {
+		if nid == id {
+			continue
+		}
+		if p.WithinDist(m.nodes[nid].pos, m.cfg.Range) {
+			buf = append(buf, nid)
+		}
+	}
+	m.scratch = cand[:0]
+	return buf
 }
 
 // txDelay computes the serialized transmission start and airtime for one
@@ -188,6 +349,41 @@ func (m *Medium) txDelay(from *node, sizeBytes int) (start, airtime float64) {
 	return start, airtime
 }
 
+// delivery is a pooled in-flight frame: one scheduled event that, at
+// delivery time, applies the range/fade/loss processes to each addressed
+// receiver in ID order — the exact per-receiver order the former
+// one-event-per-receiver scheme produced, so RNG draws are unchanged.
+type delivery struct {
+	m    *Medium
+	from NodeID
+	to   []NodeID
+	p    Payload
+}
+
+// Run delivers the frame to every captured receiver and recycles itself.
+func (d *delivery) Run() {
+	m := d.m
+	for _, to := range d.to {
+		if !m.received(d.from, to) {
+			continue
+		}
+		m.Counters.Receptions++
+		m.nodes[to].handler(d.from, d.p)
+	}
+	d.p = nil
+	m.free = append(m.free, d)
+}
+
+// getDelivery pops a pooled delivery (or makes one).
+func (m *Medium) getDelivery() *delivery {
+	if n := len(m.free); n > 0 {
+		d := m.free[n-1]
+		m.free = m.free[:n-1]
+		return d
+	}
+	return &delivery{m: m}
+}
+
 // Unicast queues one frame from -> to. It returns false without
 // transmitting when the receiver is out of range at send time — the
 // immediate link-break feedback AODV relies on. Delivery happens after
@@ -200,18 +396,15 @@ func (m *Medium) Unicast(from, to NodeID, p Payload) bool {
 	if !m.InRange(from, to) {
 		return false
 	}
-	src, dst := m.nodes[from], m.nodes[to]
+	src := &m.nodes[from]
 	start, airtime := m.txDelay(src, p.SizeBytes())
 	m.Counters.FramesSent++
 	m.Counters.BytesSent += p.SizeBytes() + m.cfg.HeaderBytes
-	deliverAt := start + airtime + m.cfg.Overhead
-	m.eng.At(deliverAt, func() {
-		if !m.received(from, to) {
-			return
-		}
-		m.Counters.Receptions++
-		dst.handler(from, p)
-	})
+	d := m.getDelivery()
+	d.from = from
+	d.to = append(d.to[:0], to)
+	d.p = p
+	m.eng.AtRunner(start+airtime+m.cfg.Overhead, d)
 	return true
 }
 
@@ -243,25 +436,23 @@ func (m *Medium) received(from, to NodeID) bool {
 // Broadcast transmits one frame to every node currently in range and
 // returns how many receivers were addressed. The transmission is a single
 // busy period on the sender's radio; each addressed receiver independently
-// suffers range and loss drops at delivery time.
+// suffers range and loss drops at delivery time. All receivers share one
+// delivery event that walks the captured neighbor list in ID order.
 func (m *Medium) Broadcast(from NodeID, p Payload) int {
-	src := m.nodes[from]
-	targets := m.Neighbors(from)
+	d := m.getDelivery()
+	d.to = m.NeighborsInto(from, d.to)
+	src := &m.nodes[from]
 	start, airtime := m.txDelay(src, p.SizeBytes())
 	m.Counters.FramesSent++
 	m.Counters.BytesSent += p.SizeBytes() + m.cfg.HeaderBytes
-	deliverAt := start + airtime + m.cfg.Overhead
-	for _, to := range targets {
-		to := to
-		m.eng.At(deliverAt, func() {
-			if !m.received(from, to) {
-				return
-			}
-			m.Counters.Receptions++
-			m.nodes[to].handler(from, p)
-		})
+	if len(d.to) == 0 {
+		m.free = append(m.free, d)
+		return 0
 	}
-	return len(targets)
+	d.from = from
+	d.p = p
+	m.eng.AtRunner(start+airtime+m.cfg.Overhead, d)
+	return len(d.to)
 }
 
 // Config returns the medium configuration.

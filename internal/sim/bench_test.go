@@ -1,0 +1,23 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineScheduleStep measures the steady-state Schedule+Step cycle
+// over a deep pending queue: every iteration pushes one event and pops the
+// earliest, which is exactly the scheduler work a simulation run amortizes
+// over its event count. The scheduled function is static so the benchmark
+// isolates the queue itself (capturing closures are the caller's cost).
+func BenchmarkEngineScheduleStep(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	const pending = 1024
+	for i := 0; i < pending; i++ {
+		e.Schedule(float64(i%97)+0.5, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(float64(i%97)+0.5, fn)
+		e.Step()
+	}
+}

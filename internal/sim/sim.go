@@ -3,21 +3,47 @@
 // uses. Events are closures ordered by simulated time with FIFO tie-break,
 // the clock only moves when events run, and all randomness flows through a
 // seeded source so every simulation is reproducible.
+//
+// The event queue is a value-based 4-ary heap: events are stored inline (no
+// per-event heap object), the shallower tree does fewer cache-missing
+// comparisons per operation than a binary heap of pointers, and steady-state
+// Schedule/Step cycles allocate nothing once the queue slice has grown to
+// its high-water mark. Components with hot delivery paths implement Runner
+// and recycle their event state through their own free lists (see
+// radio.Medium); one-off closures keep using Schedule/At.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
 
+// Runner is a pre-allocated event: Run is invoked when the event fires.
+// Pooled implementations let hot paths schedule without allocating a
+// closure per event.
+type Runner interface {
+	Run()
+}
+
+// funcRunner adapts a plain closure to Runner. Func values are
+// pointer-shaped, so the interface conversion itself does not allocate.
+type funcRunner func()
+
+func (f funcRunner) Run() { f() }
+
 // Engine is a single-threaded discrete-event scheduler.
 type Engine struct {
 	now   float64
-	queue eventHeap
+	queue []event // value-based 4-ary min-heap on (at, seq)
 	seq   uint64
 	rng   *rand.Rand
 	ran   uint64
+}
+
+type event struct {
+	at  float64
+	seq uint64
+	r   Runner
 }
 
 // NewEngine creates an engine with its clock at zero and a deterministic
@@ -45,11 +71,26 @@ func (e *Engine) Schedule(delay float64, f func()) {
 
 // At runs f at absolute simulated time t (not before the current time).
 func (e *Engine) At(t float64, f func()) {
+	e.AtRunner(t, funcRunner(f))
+}
+
+// ScheduleRunner runs r after delay seconds of simulated time.
+func (e *Engine) ScheduleRunner(delay float64, r Runner) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", delay))
+	}
+	e.AtRunner(e.now+delay, r)
+}
+
+// AtRunner runs r at absolute simulated time t (not before the current
+// time). This is the allocation-free scheduling primitive: the event is
+// stored by value and r may come from the caller's free list.
+func (e *Engine) AtRunner(t float64, r Runner) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %g before now %g", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, run: f})
+	e.push(event{at: t, seq: e.seq, r: r})
 }
 
 // Step executes the earliest pending event and reports whether one existed.
@@ -57,10 +98,10 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
+	ev := e.pop()
 	e.now = ev.at
 	e.ran++
-	ev.run()
+	ev.r.Run()
 	return true
 }
 
@@ -94,28 +135,63 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // Executed returns the total number of events run so far.
 func (e *Engine) Executed() uint64 { return e.ran }
 
-type event struct {
-	at  float64
-	seq uint64
-	run func()
-}
+// --- 4-ary value heap -------------------------------------------------------
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders events by time with FIFO tie-break; seq is unique, so the
+// order is total and any conforming heap pops the same sequence.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+func (e *Engine) push(ev event) {
+	q := append(e.queue, ev)
+	// Sift up: parent of i is (i-1)/4.
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(&q[i], &q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	e.queue = q
+}
+
+func (e *Engine) pop() event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // release the Runner reference
+	q = q[:n]
+	// Sift down: children of i are 4i+1 .. 4i+4.
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		// Find the smallest of up to four children.
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(&q[j], &q[m]) {
+				m = j
+			}
+		}
+		if !less(&q[m], &q[i]) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	e.queue = q
+	return top
 }

@@ -134,3 +134,45 @@ func TestDeterminism(t *testing.T) {
 		t.Errorf("different seeds produced identical traces")
 	}
 }
+
+// TestScheduleStepZeroAllocs pins the steady-state scheduler at zero heap
+// allocations: once the queue slice has reached its high-water mark,
+// Schedule/Step cycles with a prebuilt closure must not allocate. This is
+// what lets the radio layer's pooled deliveries make the whole transmit
+// path allocation-free.
+func TestScheduleStepZeroAllocs(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ { // grow the queue to its working size
+		e.Schedule(float64(i%7)+1, fn)
+	}
+	for e.Step() {
+	}
+	e.Schedule(1, fn)
+	e.Step() // warm up
+	allocs := testing.AllocsPerRun(50, func() {
+		e.Schedule(1, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("Schedule+Step allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestRunnerScheduling checks the Runner-based API orders and executes
+// events exactly like the closure API.
+func TestRunnerScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.ScheduleRunner(2, runnerFunc(func() { order = append(order, 2) }))
+	e.AtRunner(1, runnerFunc(func() { order = append(order, 1) }))
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("runner events ran out of order: %v", order)
+	}
+}
+
+type runnerFunc func()
+
+func (f runnerFunc) Run() { f() }
