@@ -12,11 +12,16 @@
 //
 // Data files are CSV (skygen) or the binary dataset format (skygen
 // -format bin), selected by extension.
+//
+// Any mode accepts -http ADDR to serve live telemetry: /metrics
+// (Prometheus text), /metrics.json (snapshot), and /debug/pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -26,6 +31,7 @@ import (
 	"manetskyline/internal/core"
 	"manetskyline/internal/gen"
 	"manetskyline/internal/tcp"
+	"manetskyline/internal/telemetry"
 	"manetskyline/internal/tuple"
 )
 
@@ -51,8 +57,21 @@ func run() error {
 		filters   = flag.Int("filters", 1, "filtering tuples per query")
 		query     = flag.Float64("query", 0, "issue one query with this distance of interest, print the skyline, and exit")
 		peers     = flag.Int("peers", 0, "network size for the query quorum (default: directory size)")
+		httpAddr  = flag.String("http", "", "serve /metrics, /metrics.json, and /debug/pprof on this address")
 	)
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *httpAddr != "" {
+		reg = telemetry.NewRegistry()
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fmt.Errorf("telemetry listener: %w", err)
+		}
+		defer ln.Close()
+		go func() { _ = http.Serve(ln, telemetry.NewMux(reg)) }()
+		fmt.Printf("telemetry on http://%s/metrics\n", ln.Addr())
+	}
 
 	if *dirserver != "" {
 		srv, err := tcp.NewDirectoryServer(*dirserver)
@@ -60,6 +79,7 @@ func run() error {
 			return err
 		}
 		defer srv.Close()
+		srv.SetRegistry(reg)
 		fmt.Printf("directory server on %s\n", srv.Addr())
 		waitForSignal()
 		return nil
@@ -103,8 +123,10 @@ func run() error {
 	}
 
 	client := tcp.NewDirectoryClient(*join)
+	cfg := tcp.DefaultConfig()
+	cfg.Registry = reg
 	peer, err := tcp.NewPeer(core.DeviceID(*id), data, schema, est, true,
-		tuple.Point{X: *x, Y: *y}, client, tcp.DefaultConfig())
+		tuple.Point{X: *x, Y: *y}, client, cfg)
 	if err != nil {
 		return err
 	}

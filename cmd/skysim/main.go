@@ -10,11 +10,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"manetskyline/internal/core"
 	"manetskyline/internal/gen"
 	"manetskyline/internal/manet"
+	"manetskyline/internal/stats"
+	"manetskyline/internal/telemetry"
 )
 
 func main() {
@@ -44,6 +47,8 @@ func run() error {
 		redist   = flag.Bool("redistribute", false, "hand relations to devices closer to the data (§7 extension)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		trace    = flag.String("trace", "", "write a JSONL event trace to this file")
+		metrics  = flag.String("metrics", "", `dump Prometheus-format metrics to this file ("-" for stdout)`)
+		spansOut = flag.String("spans", "", `write per-query span timelines as JSON to this file ("-" for stdout)`)
 		verbose  = flag.Bool("v", false, "print per-query metrics")
 	)
 	flag.Parse()
@@ -69,6 +74,12 @@ func run() error {
 		}
 		defer f.Close()
 		p.Trace = f
+	}
+	if *metrics != "" {
+		p.Metrics = telemetry.NewRegistry()
+	}
+	if *spansOut != "" {
+		p.Spans = telemetry.NewSpanLog()
 	}
 
 	switch *dist {
@@ -125,10 +136,19 @@ func run() error {
 	fmt.Printf("\nqueries issued:   %d (skipped %d while busy)\n", len(out.Queries), out.SkippedIssues)
 	fmt.Printf("completion rate:  %.1f%%\n", out.CompletionRate()*100)
 	fmt.Printf("pooled DRR:       %.3f\n", out.PooledDRR())
-	if rt, ok := out.MeanResponseTime(); ok {
-		fmt.Printf("mean resp. time:  %.3fs\n", rt)
+	var rtw stats.Welford
+	var rts []float64
+	for _, q := range out.Queries {
+		if q.Done {
+			rtw.Add(q.ResponseTime)
+			rts = append(rts, q.ResponseTime)
+		}
+	}
+	if rtw.N() > 0 {
+		fmt.Printf("resp. time:       mean %.3fs ± %.3fs, median %.3fs (n=%d)\n",
+			rtw.Mean(), rtw.StdDev(), stats.Median(rts), rtw.N())
 	} else {
-		fmt.Printf("mean resp. time:  n/a (no completed queries)\n")
+		fmt.Printf("resp. time:       n/a (no completed queries)\n")
 	}
 	fmt.Printf("mean msgs/query:  %.1f\n", out.MeanMessages())
 	fmt.Printf("radio frames:     %d sent, %d received, %d lost to range, %d lost to noise\n",
@@ -140,5 +160,32 @@ func run() error {
 		fmt.Printf("redistribution:   %d relation hand-offs\n", out.Transfers)
 	}
 	fmt.Printf("events executed:  %d\n", out.Events)
+
+	if *metrics != "" {
+		if err := dumpTo(*metrics, p.Metrics.WritePrometheus); err != nil {
+			return err
+		}
+	}
+	if *spansOut != "" {
+		if err := dumpTo(*spansOut, p.Spans.WriteJSON); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// dumpTo writes a report to the named file, or to stdout for "-".
+func dumpTo(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

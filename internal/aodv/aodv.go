@@ -63,8 +63,9 @@ func (c Config) Validate() error {
 }
 
 // DataHandler receives routed application payloads; src is the node that
-// originated the unicast.
-type DataHandler func(src radio.NodeID, payload radio.Payload)
+// originated the unicast and hops is the number of radio links the packet
+// traversed end to end (1 for a direct neighbour delivery).
+type DataHandler func(src radio.NodeID, hops int, payload radio.Payload)
 
 // LocalHandler receives one-hop application broadcasts; from is the
 // neighbour that transmitted.
@@ -89,6 +90,9 @@ type Network struct {
 
 	// Counters is exported for metric collection.
 	Counters Counters
+
+	// met is the optional telemetry surface (zero value = disabled).
+	met Metrics
 
 	// ForwardHook, when set, is called with the application payload for
 	// every hop-level data transmission; the manet layer uses it to
@@ -325,6 +329,7 @@ func (nd *node) handleRREQ(from radio.NodeID, q *rreqPkt) {
 	fwd := *q
 	fwd.Hops++
 	nd.net.Counters.RREQSent++
+	nd.net.met.RREQSent.Inc()
 	nd.net.med.Broadcast(nd.id, &fwd)
 }
 
@@ -335,6 +340,7 @@ func (nd *node) sendRREP(p *rrepPkt) {
 		return // reverse route evaporated; discovery will time out
 	}
 	nd.net.Counters.RREPSent++
+	nd.net.met.RREPSent.Inc()
 	nd.net.med.Unicast(nd.id, r.nextHop, p)
 }
 
@@ -361,13 +367,17 @@ func (nd *node) handleRERR(from radio.NodeID, p *rerrPkt) {
 func (nd *node) handleData(p *dataPkt) {
 	if p.Dst == nd.id {
 		nd.net.Counters.DataDelivered++
+		nd.net.met.DataDelivered.Inc()
 		if nd.onData != nil {
-			nd.onData(p.Src, p.Inner)
+			// Hops counts forwards before this delivery, so the number of
+			// links traversed is Hops+1.
+			nd.onData(p.Src, p.Hops+1, p.Inner)
 		}
 		return
 	}
 	if p.Hops >= nd.net.cfg.TTL {
 		nd.net.Counters.DataDropped++
+		nd.net.met.DataDropped.Inc()
 		return
 	}
 	fwd := *p
@@ -386,6 +396,7 @@ func (nd *node) sendData(p *dataPkt) {
 	nd.net.Counters.DataForwarded++
 	if nd.net.med.Unicast(nd.id, r.nextHop, p) {
 		r.expires = nd.now() + nd.net.cfg.RouteLifetime
+		nd.net.met.DataForwarded.Inc()
 		if nd.net.ForwardHook != nil {
 			nd.net.ForwardHook(p.Inner)
 		}
@@ -393,6 +404,7 @@ func (nd *node) sendData(p *dataPkt) {
 	}
 	// Link break: invalidate, tell upstream, and attempt local repair.
 	nd.net.Counters.DataForwarded-- // transmission did not happen
+	nd.net.met.RouteFailures.Inc()
 	for _, lost := range nd.invalidateVia(r.nextHop) {
 		if p.Src != nd.id {
 			nd.sendRERRToward(p.Src, lost)
@@ -413,6 +425,7 @@ func (nd *node) sendRERRToward(src, lostDst radio.NodeID) {
 		seq = lr.seq + 1
 	}
 	nd.net.Counters.RERRSent++
+	nd.net.met.RERRSent.Inc()
 	nd.net.med.Unicast(nd.id, r.nextHop, &rerrPkt{Dst: lostDst, DstSeq: seq})
 }
 
@@ -440,6 +453,8 @@ func (nd *node) startDiscovery(dst radio.NodeID) {
 	}
 	id := nd.rreqID
 	nd.net.Counters.RREQSent++
+	nd.net.met.RouteDiscoveries.Inc()
+	nd.net.met.RREQSent.Inc()
 	nd.net.med.Broadcast(nd.id, &rreqPkt{
 		Orig: nd.id, OrigSeq: nd.seqNo, ID: id, Dst: dst, DstSeq: dstSeq,
 	})
@@ -464,6 +479,7 @@ func (nd *node) discoveryTimeout(dst radio.NodeID) {
 	}
 	// Give up: drop the buffered packets.
 	nd.net.Counters.DataDropped += len(d.packets)
+	nd.net.met.DataDropped.Add(int64(len(d.packets)))
 	delete(nd.pending, dst)
 }
 

@@ -107,7 +107,7 @@ func TestTTLBoundsFlood(t *testing.T) {
 	got := 0
 	for i := 0; i < 7; i++ {
 		i := i
-		net.AddNode(mobility.Static(tuple.Point{X: float64(i) * 300}), func(radio.NodeID, radio.Payload) {
+		net.AddNode(mobility.Static(tuple.Point{X: float64(i) * 300}), func(radio.NodeID, int, radio.Payload) {
 			if i == 6 {
 				got++
 			}

@@ -47,7 +47,7 @@ func (w *world) addStatic(p tuple.Point) radio.NodeID {
 func (w *world) addMobile(m mobility.Model) radio.NodeID {
 	var id radio.NodeID
 	id = w.net.AddNode(m,
-		func(src radio.NodeID, pay radio.Payload) {
+		func(src radio.NodeID, hops int, pay radio.Payload) {
 			w.got[id] = append(w.got[id], delivery{src: src, pay: pay, at: w.eng.Now()})
 		},
 		nil)

@@ -1,0 +1,42 @@
+package aodv
+
+import "manetskyline/internal/telemetry"
+
+// Metrics is the routing layer's telemetry surface. The zero value (all
+// nil) is the disabled state; increments then cost one nil check. The
+// legacy Counters struct remains the simulator's per-run accounting.
+type Metrics struct {
+	// RouteDiscoveries counts discovery rounds started (initial attempts
+	// and retries alike).
+	RouteDiscoveries *telemetry.Counter
+	// RREQSent, RREPSent, and RERRSent count control transmissions.
+	RREQSent *telemetry.Counter
+	RREPSent *telemetry.Counter
+	RERRSent *telemetry.Counter
+	// RouteFailures counts link breaks detected while forwarding data
+	// (each triggers invalidation and local repair).
+	RouteFailures *telemetry.Counter
+	// DataForwarded, DataDelivered, and DataDropped count hop-level data
+	// transmissions, end-to-end deliveries, and give-ups.
+	DataForwarded *telemetry.Counter
+	DataDelivered *telemetry.Counter
+	DataDropped   *telemetry.Counter
+}
+
+// NewMetrics registers the routing metrics in r (nil r ⇒ disabled metrics).
+func NewMetrics(r *telemetry.Registry) Metrics {
+	return Metrics{
+		RouteDiscoveries: r.Counter("aodv_route_discoveries_total", "route discovery rounds started"),
+		RREQSent:         r.Counter("aodv_rreq_sent_total", "route requests transmitted"),
+		RREPSent:         r.Counter("aodv_rrep_sent_total", "route replies transmitted"),
+		RERRSent:         r.Counter("aodv_rerr_sent_total", "route errors transmitted"),
+		RouteFailures:    r.Counter("aodv_route_failures_total", "link breaks detected while forwarding data"),
+		DataForwarded:    r.Counter("aodv_data_forwarded_total", "hop-level data transmissions"),
+		DataDelivered:    r.Counter("aodv_data_delivered_total", "end-to-end data deliveries"),
+		DataDropped:      r.Counter("aodv_data_dropped_total", "data packets given up on (no route, TTL, or break)"),
+	}
+}
+
+// SetMetrics attaches telemetry to the network; call before the simulation
+// starts. The zero Metrics value detaches it.
+func (n *Network) SetMetrics(met Metrics) { n.met = met }

@@ -33,6 +33,8 @@ type Device struct {
 	// when originating (§7 multi-filter extension); 0 and 1 both mean the
 	// paper's single-filter scheme.
 	NumFilters int
+	// Met is the device's telemetry surface; the zero value disables it.
+	Met Metrics
 
 	nextCnt uint8
 }
@@ -83,6 +85,7 @@ func (d *Device) Originate(pos tuple.Point, dist float64) (Query, localsky.Resul
 			q.Extra = filters[1:]
 		}
 	}
+	d.observeOriginate(res.Unreduced)
 	return q, res
 }
 
@@ -117,7 +120,15 @@ func (d *Device) Process(q Query) localsky.Result {
 		res.Filter = q.Filter
 		res.FilterVDR = q.FilterVDR
 	}
+	d.observeProcess(res.Unreduced, res.Unreduced-len(res.Skyline), FilterReplaced(q, res))
 	return res
+}
+
+// FilterReplaced reports whether processing q produced a dynamic filter
+// upgrade (§3.4): the result forwards a filter whose VDR strictly beats the
+// one the query arrived with.
+func FilterReplaced(q Query, res localsky.Result) bool {
+	return res.Filter != nil && res.FilterVDR > q.FilterVDR
 }
 
 // Forwardable returns the query to send onward from this device after

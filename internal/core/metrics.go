@@ -1,0 +1,71 @@
+package core
+
+import "manetskyline/internal/telemetry"
+
+// Metrics is the query-processing telemetry surface shared by every runtime
+// that drives devices through this package (the MANET simulator and the TCP
+// peer alike). The zero value (all nil) is the disabled state; increments
+// then cost one nil check, keeping Originate/Process allocation-free.
+type Metrics struct {
+	// QueriesOriginated and QueriesProcessed count local skyline
+	// evaluations by role; QueriesSuppressed counts duplicate deliveries
+	// the §3.4 query log rejected.
+	QueriesOriginated *telemetry.Counter
+	QueriesProcessed  *telemetry.Counter
+	QueriesSuppressed *telemetry.Counter
+	// TuplesPruned counts tuples removed from local skylines by the
+	// query's filtering tuple(s), labelled by the estimation mode that
+	// scored the filters (EXT, OVE, or UNE).
+	TuplesPruned *telemetry.Counter
+	// FilterReplacements counts §3.4 dynamic filter upgrades: a device
+	// found a local tuple with a strictly larger VDR than the incoming
+	// filter's.
+	FilterReplacements *telemetry.Counter
+	// LocalSkylineSize observes |SK_i| (the unreduced local skyline) at
+	// every evaluation.
+	LocalSkylineSize *telemetry.Histogram
+}
+
+// NewMetrics registers the core metrics in r (nil r ⇒ disabled metrics).
+// mode labels the prune counter with the estimation mode in play.
+func NewMetrics(r *telemetry.Registry, mode Estimation) Metrics {
+	return Metrics{
+		QueriesOriginated: r.Counter("core_queries_originated_total", "queries issued by local devices"),
+		QueriesProcessed:  r.Counter("core_queries_processed_total", "remote queries evaluated against the local relation"),
+		QueriesSuppressed: r.Counter("core_queries_suppressed_total", "duplicate query deliveries rejected by the query log"),
+		TuplesPruned: r.CounterL("core_tuples_pruned_total",
+			`mode="`+mode.String()+`"`, "local skyline tuples removed by filtering tuples"),
+		FilterReplacements: r.Counter("core_filter_replacements_total", "dynamic filter upgrades performed while forwarding"),
+		LocalSkylineSize: r.Histogram("core_local_skyline_size",
+			"unreduced local skyline sizes |SK_i|", telemetry.SizeBuckets()),
+	}
+}
+
+// FirstTime wraps the query log's duplicate check, counting suppressions.
+func (d *Device) FirstTime(k QueryKey) bool {
+	if d.Log.FirstTime(k) {
+		return true
+	}
+	d.Met.QueriesSuppressed.Inc()
+	return false
+}
+
+// observeOriginate folds one Originate call into the metrics.
+func (d *Device) observeOriginate(unreduced int) {
+	d.Met.QueriesOriginated.Inc()
+	d.Met.LocalSkylineSize.Observe(float64(unreduced))
+}
+
+// observeProcess folds one Process call into the metrics. pruned is
+// |SK_i| − |SK'_i| after all of the query's filters applied; replaced
+// reports a dynamic filter upgrade.
+func (d *Device) observeProcess(unreduced, pruned int, replaced bool) {
+	d.Met.QueriesProcessed.Inc()
+	d.Met.LocalSkylineSize.Observe(float64(unreduced))
+	if pruned > 0 {
+		d.Met.TuplesPruned.Add(int64(pruned))
+	}
+	if replaced {
+		d.Met.FilterReplacements.Inc()
+	}
+}

@@ -1,6 +1,10 @@
 package manet
 
-import "testing"
+import (
+	"testing"
+
+	"manetskyline/internal/telemetry"
+)
 
 // benchScenarioParams is the end-to-end benchmark scenario: the paper's
 // largest network (10×10 grid = 100 devices) moving under random waypoint,
@@ -29,6 +33,25 @@ func BenchmarkScenarioSmall(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				benchOutcomeSink = Run(p)
+			}
+		})
+	}
+}
+
+// BenchmarkScenarioSmallTelemetry is the same scenario with the full
+// telemetry stack attached (registry across all layers plus span
+// collection), quantifying the enabled-path overhead that EXPERIMENTS.md
+// reports against the disabled baseline above.
+func BenchmarkScenarioSmallTelemetry(b *testing.B) {
+	for _, strategy := range []Forwarding{BreadthFirst, DepthFirst} {
+		b.Run(strategy.String(), func(b *testing.B) {
+			p := benchScenarioParams(strategy)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Metrics = telemetry.NewRegistry()
+				p.Spans = telemetry.NewSpanLog()
 				benchOutcomeSink = Run(p)
 			}
 		})

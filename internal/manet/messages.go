@@ -27,6 +27,11 @@ func querySize(q core.Query) int {
 // broadcast, rebroadcast by every first-time receiver).
 type queryMsg struct {
 	Q core.Query
+	// Hops is the flood depth: 1 at the originator's broadcast, +1 per
+	// rebroadcast. It is simulator bookkeeping for traces and spans, not
+	// protocol payload, and is deliberately excluded from SizeBytes so
+	// airtime, timing, and goldens are unchanged by instrumentation.
+	Hops int
 }
 
 func (m *queryMsg) SizeBytes() int { return querySize(m.Q) }

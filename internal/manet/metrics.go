@@ -1,0 +1,43 @@
+package manet
+
+import "manetskyline/internal/telemetry"
+
+// simMetrics is the scenario-level telemetry surface, registered next to
+// the substrate metrics (radio_*, aodv_*, core_*) when Params.Metrics is
+// set. The zero value is the disabled state; increments cost one nil check.
+type simMetrics struct {
+	// QueriesIssued counts queries actually issued; QueriesSkipped counts
+	// issue opportunities dropped because the device was busy (§5.2.1).
+	QueriesIssued  *telemetry.Counter
+	QueriesSkipped *telemetry.Counter
+	// QueriesCompleted counts originators reaching their completion
+	// condition (BF quorum or DF neighbour exhaustion).
+	QueriesCompleted *telemetry.Counter
+	// QueryMessages counts hop-level protocol transmissions attributed to
+	// queries (the Figure 12 metric).
+	QueryMessages *telemetry.Counter
+	// Transfers counts §7 relation hand-offs.
+	Transfers *telemetry.Counter
+	// ResponseTime observes completed queries' response times in
+	// simulated seconds (the Figure 8 metric).
+	ResponseTime *telemetry.Histogram
+}
+
+// responseTimeBuckets spans the simulator's observed range: sub-second DF
+// hand-offs on tiny grids up to multi-minute BF floods on dense ones.
+func responseTimeBuckets() []float64 {
+	return []float64{0.5, 1, 2, 5, 10, 30, 60, 120, 300, 600, 1200}
+}
+
+// newSimMetrics registers the scenario metrics in r (nil r ⇒ disabled).
+func newSimMetrics(r *telemetry.Registry) simMetrics {
+	return simMetrics{
+		QueriesIssued:    r.Counter("manet_queries_issued_total", "skyline queries issued by devices"),
+		QueriesSkipped:   r.Counter("manet_queries_skipped_total", "issue opportunities skipped while a query was in progress"),
+		QueriesCompleted: r.Counter("manet_queries_completed_total", "queries that reached their completion condition"),
+		QueryMessages:    r.Counter("manet_query_messages_total", "hop-level protocol transmissions attributed to queries"),
+		Transfers:        r.Counter("manet_transfers_total", "relation hand-offs between devices"),
+		ResponseTime: r.Histogram("manet_response_time_seconds",
+			"completed query response times in simulated seconds", responseTimeBuckets()),
+	}
+}

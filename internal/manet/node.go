@@ -4,6 +4,7 @@ import (
 	"manetskyline/internal/core"
 	"manetskyline/internal/localsky"
 	"manetskyline/internal/radio"
+	"manetskyline/internal/telemetry"
 	"manetskyline/internal/tuple"
 )
 
@@ -53,12 +54,15 @@ type dfState struct {
 func (n *node) maybeIssue() {
 	if n.busy {
 		n.sc.skipped++
+		n.sc.met.QueriesSkipped.Inc()
 		return
 	}
 	n.busy = true
 	pos := n.sc.med.PosOf(n.id)
 	q, res := n.dev.Originate(pos, n.sc.p.QueryDist)
 	n.sc.newMetrics(q)
+	n.sc.met.QueriesIssued.Inc()
+	n.sc.spans.Begin(spanKey(q.Key()), n.sc.eng.Now())
 	n.sc.trace(TraceEvent{Event: "issue", Device: n.dev.ID, Org: q.Org, Cnt: q.Cnt})
 	// Local processing consumes simulated device time before anything is
 	// transmitted.
@@ -81,6 +85,9 @@ func (n *node) finishQuery(key core.QueryKey, merged []tuple.Tuple) {
 	m.Done = true
 	m.ResponseTime = n.sc.eng.Now() - m.Issued
 	m.ResultTuples = len(merged)
+	n.sc.met.QueriesCompleted.Inc()
+	n.sc.met.ResponseTime.Observe(m.ResponseTime)
+	n.sc.spans.Complete(spanKey(key), n.sc.eng.Now(), len(merged))
 	n.sc.trace(TraceEvent{Event: "complete", Device: n.dev.ID,
 		Org: key.Org, Cnt: key.Cnt, Tuples: len(merged)})
 	if n.sc.p.KeepSkylines {
@@ -101,12 +108,13 @@ func (n *node) bfStart(q core.Query, res localsky.Result) {
 		n.finishQuery(q.Key(), st.merged)
 		return
 	}
-	n.sc.countQueryMessages(q.Key(), n.sc.net.BroadcastLocal(n.id, &queryMsg{Q: q}))
+	n.sc.countQueryMessages(q.Key(), n.sc.net.BroadcastLocal(n.id, &queryMsg{Q: q, Hops: 1}))
 }
 
 // bfHandleQuery runs a first-time receiver's side of the flood.
-func (n *node) bfHandleQuery(q core.Query) {
-	if !n.dev.Log.FirstTime(q.Key()) {
+func (n *node) bfHandleQuery(msg *queryMsg) {
+	q := msg.Q
+	if !n.dev.FirstTime(q.Key()) {
 		return
 	}
 	res := n.dev.Process(q)
@@ -117,8 +125,7 @@ func (n *node) bfHandleQuery(q core.Query) {
 			filters:    q.NumFilters(),
 			skippedMBR: res.Stats.SkippedMBR,
 		})
-		n.sc.trace(TraceEvent{Event: "process", Device: n.dev.ID,
-			Org: q.Org, Cnt: q.Cnt, Tuples: len(res.Skyline)})
+		n.observeProcess(q, res, msg.Hops)
 		// Result back to the originator (multi-hop), even when empty: the
 		// paper's devices always return a correct, short message.
 		n.sc.net.Send(n.id, radio.NodeID(q.Org), &resultMsg{
@@ -126,12 +133,38 @@ func (n *node) bfHandleQuery(q core.Query) {
 		})
 		// Keep flooding with the (possibly upgraded) filter.
 		n.sc.countQueryMessages(q.Key(),
-			n.sc.net.BroadcastLocal(n.id, &queryMsg{Q: core.Forwardable(q, res)}))
+			n.sc.net.BroadcastLocal(n.id, &queryMsg{Q: core.Forwardable(q, res), Hops: msg.Hops + 1}))
 	})
 }
 
-// bfHandleResult merges one device's result at the originator.
-func (n *node) bfHandleResult(m *resultMsg) {
+// observeProcess emits the process (and, on a §3.4 dynamic upgrade, the
+// filter-update) trace events and span stages for one Process outcome.
+// hops is the flood depth (BF) or route length (DF) of the triggering
+// message.
+func (n *node) observeProcess(q core.Query, res localsky.Result, hops int) {
+	key := q.Key()
+	pruned := res.Unreduced - len(res.Skyline)
+	n.sc.trace(TraceEvent{Event: "process", Device: n.dev.ID,
+		Org: key.Org, Cnt: key.Cnt, Tuples: len(res.Skyline),
+		Hops: hops, Pruned: pruned})
+	n.sc.spans.Observe(spanKey(key), telemetry.Stage{
+		T: n.sc.eng.Now(), Kind: telemetry.StageProcess,
+		Device: int32(n.dev.ID), Tuples: len(res.Skyline),
+		Hops: hops, Pruned: pruned,
+	})
+	if n.dev.Dynamic && core.FilterReplaced(q, res) {
+		n.sc.trace(TraceEvent{Event: "filter-update", Device: n.dev.ID,
+			Org: key.Org, Cnt: key.Cnt, Hops: hops})
+		n.sc.spans.Observe(spanKey(key), telemetry.Stage{
+			T: n.sc.eng.Now(), Kind: telemetry.StageFilterUpdate,
+			Device: int32(n.dev.ID), Hops: hops,
+		})
+	}
+}
+
+// bfHandleResult merges one device's result at the originator. hops is the
+// route length the result travelled.
+func (n *node) bfHandleResult(m *resultMsg, hops int) {
 	st := n.bf[m.Key]
 	if st == nil {
 		return
@@ -144,7 +177,11 @@ func (n *node) bfHandleResult(m *resultMsg) {
 	qm.Results++
 	qm.ResultTuples = len(st.merged)
 	n.sc.trace(TraceEvent{Event: "result", Device: n.dev.ID,
-		Org: m.Key.Org, Cnt: m.Key.Cnt, Tuples: len(m.Tuples)})
+		Org: m.Key.Org, Cnt: m.Key.Cnt, Tuples: len(m.Tuples), Hops: hops})
+	n.sc.spans.Observe(spanKey(m.Key), telemetry.Stage{
+		T: n.sc.eng.Now(), Kind: telemetry.StageResult,
+		Device: int32(m.From), Tuples: len(m.Tuples), Hops: hops,
+	})
 	if n.sc.p.KeepSkylines {
 		qm.Skyline = append([]tuple.Tuple(nil), st.merged...)
 	}
@@ -225,10 +262,11 @@ func (n *node) dfFinish(st *dfState) {
 	})
 }
 
-// dfHandleQuery runs one receiver's side of a DF hand-off.
-func (n *node) dfHandleQuery(from radio.NodeID, m *dfQueryMsg) {
+// dfHandleQuery runs one receiver's side of a DF hand-off. hops is the
+// route length the hand-off travelled (usually 1: DF targets neighbours).
+func (n *node) dfHandleQuery(from radio.NodeID, hops int, m *dfQueryMsg) {
 	key := m.Q.Key()
-	if !n.dev.Log.FirstTime(key) {
+	if !n.dev.FirstTime(key) {
 		n.sc.net.Send(n.id, from, &dfAckMsg{Key: key, Accept: false})
 		return
 	}
@@ -248,8 +286,7 @@ func (n *node) dfHandleQuery(from radio.NodeID, m *dfQueryMsg) {
 			filters:    m.Q.NumFilters(),
 			skippedMBR: res.Stats.SkippedMBR,
 		})
-		n.sc.trace(TraceEvent{Event: "process", Device: n.dev.ID,
-			Org: key.Org, Cnt: key.Cnt, Tuples: len(res.Skyline)})
+		n.observeProcess(m.Q, res, hops)
 		st.merged = res.Skyline
 		st.flt = res.Filter
 		st.fltVDR = res.FilterVDR
@@ -281,13 +318,22 @@ func (n *node) dfHandleAck(from radio.NodeID, m *dfAckMsg) {
 }
 
 // dfHandleResult merges a child's subtree result and continues with the
-// remaining neighbours.
-func (n *node) dfHandleResult(from radio.NodeID, m *dfResultMsg) {
+// remaining neighbours. hops is the route length the result travelled.
+func (n *node) dfHandleResult(from radio.NodeID, hops int, m *dfResultMsg) {
 	st := n.df[m.Key]
 	if st == nil {
 		return
 	}
 	st.merged = core.Merge(st.merged, m.Tuples)
+	if st.parent < 0 {
+		// Subtree results reaching the originator are DF's result arrivals.
+		n.sc.trace(TraceEvent{Event: "result", Device: n.dev.ID,
+			Org: m.Key.Org, Cnt: m.Key.Cnt, Tuples: len(m.Tuples), Hops: hops})
+		n.sc.spans.Observe(spanKey(m.Key), telemetry.Stage{
+			T: n.sc.eng.Now(), Kind: telemetry.StageResult,
+			Device: int32(from), Tuples: len(m.Tuples), Hops: hops,
+		})
+	}
 	// Adopt the child's filter when it prunes harder (the backtracking
 	// counterpart of the §3.4 dynamic update).
 	if n.dev.Dynamic && m.Filter != nil && (st.flt == nil || m.FilterVDR > st.fltVDR) {
@@ -317,23 +363,24 @@ func (n *node) dfHandleResult(from radio.NodeID, m *dfResultMsg) {
 
 // --- dispatch ---------------------------------------------------------------
 
-// onData receives routed unicasts (results, DF control traffic).
-func (n *node) onData(src radio.NodeID, payload radio.Payload) {
+// onData receives routed unicasts (results, DF control traffic). hops is
+// the number of links the payload traversed, supplied by the routing layer.
+func (n *node) onData(src radio.NodeID, hops int, payload radio.Payload) {
 	switch m := payload.(type) {
 	case *resultMsg:
-		n.bfHandleResult(m)
+		n.bfHandleResult(m, hops)
 	case *dfQueryMsg:
-		n.dfHandleQuery(src, m)
+		n.dfHandleQuery(src, hops, m)
 	case *dfAckMsg:
 		n.dfHandleAck(src, m)
 	case *dfResultMsg:
-		n.dfHandleResult(src, m)
+		n.dfHandleResult(src, hops, m)
 	}
 }
 
 // onLocal receives one-hop broadcasts (the BF flood).
 func (n *node) onLocal(from radio.NodeID, payload radio.Payload) {
 	if m, ok := payload.(*queryMsg); ok {
-		n.bfHandleQuery(m.Q)
+		n.bfHandleQuery(m)
 	}
 }

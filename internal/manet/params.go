@@ -18,6 +18,7 @@ import (
 	"manetskyline/internal/gen"
 	"manetskyline/internal/mobility"
 	"manetskyline/internal/radio"
+	"manetskyline/internal/telemetry"
 )
 
 // Forwarding selects the query dissemination strategy of §5.2.1.
@@ -122,6 +123,15 @@ type Params struct {
 	// Trace, when non-nil, receives a JSONL event trace of the run
 	// (see TraceEvent).
 	Trace io.Writer
+
+	// Metrics, when non-nil, receives live counters from every layer of
+	// the stack (radio_*, aodv_*, core_*, manet_*). Instrumentation is
+	// allocation-free and never disturbs the simulation's randomness, so
+	// runs are bit-identical with and without it.
+	Metrics *telemetry.Registry
+	// Spans, when non-nil, collects per-query issue→process→result
+	// timelines (see telemetry.SpanLog); Outcome.Spans exposes them.
+	Spans *telemetry.SpanLog
 
 	// Seed drives all randomness.
 	Seed int64

@@ -81,7 +81,9 @@ func (sc *scenario) redistributeOnce() {
 		best.tuples = append(best.tuples, moved...)
 		best.dev.Rel = storage.NewHybrid(best.tuples)
 		sc.redist.transfers++
+		sc.met.Transfers.Inc()
+		to := best.dev.ID
 		sc.trace(TraceEvent{Event: "transfer", Device: n.dev.ID,
-			To: best.dev.ID, Tuples: len(best.tuples)})
+			To: &to, Tuples: len(best.tuples)})
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"manetskyline/internal/mobility"
 	"manetskyline/internal/radio"
 	"manetskyline/internal/sim"
+	"manetskyline/internal/telemetry"
 	"manetskyline/internal/tuple"
 )
 
@@ -66,6 +67,8 @@ type Outcome struct {
 	// end, after any redistribution), for verification; the union equals
 	// the global relation regardless of hand-offs.
 	DeviceTuples [][]tuple.Tuple
+	// Spans holds per-query timelines when Params.Spans was set.
+	Spans []*telemetry.Span
 }
 
 // PooledDRR evaluates Formula 1 over all queries' pooled sums.
@@ -132,6 +135,13 @@ type scenario struct {
 	redist  redistributionState
 
 	traceEnc *json.Encoder
+	met      simMetrics
+	spans    *telemetry.SpanLog
+}
+
+// spanKey converts a query key to the telemetry span key.
+func spanKey(k core.QueryKey) telemetry.SpanKey {
+	return telemetry.SpanKey{Org: int32(k.Org), Cnt: int32(k.Cnt)}
 }
 
 // Run executes one scenario and returns its outcome.
@@ -155,6 +165,7 @@ func Run(p Params) *Outcome {
 	for _, n := range sc.nodes {
 		out.DeviceTuples = append(out.DeviceTuples, n.tuples)
 	}
+	out.Spans = sc.spans.Spans()
 	return out
 }
 
@@ -169,8 +180,19 @@ func build(p Params) *scenario {
 		med:     med,
 		net:     net,
 		metrics: make(map[core.QueryKey]*QueryMetrics),
+		spans:   p.Spans,
 	}
 	sc.initTrace(p.Trace)
+	// Live telemetry: attach every layer's surface to the shared registry.
+	// Instrumentation only reads simulation state — it never draws from the
+	// RNG or alters message sizes — so instrumented runs stay bit-identical.
+	var devMet core.Metrics
+	if p.Metrics != nil {
+		med.SetMetrics(radio.NewMetrics(p.Metrics))
+		net.SetMetrics(aodv.NewMetrics(p.Metrics))
+		devMet = core.NewMetrics(p.Metrics, p.Mode)
+		sc.met = newSimMetrics(p.Metrics)
+	}
 	// Hop-level message attribution: query hand-offs and result returns
 	// count toward Figure 12's metric; the ack/nack control chatter of this
 	// implementation's DF failure handling does not (the paper's protocol
@@ -183,6 +205,7 @@ func build(p Params) *scenario {
 			if m := sc.metrics[k]; m != nil {
 				m.Messages++
 			}
+			sc.met.QueryMessages.Inc()
 		}
 	}
 
@@ -198,6 +221,7 @@ func build(p Params) *scenario {
 		dev := core.NewDevice(core.DeviceID(i), part, schema, p.Mode, p.Dynamic)
 		dev.OverFactor = p.OverFactor
 		dev.NumFilters = p.NumFilters
+		dev.Met = devMet
 
 		row, col := i/p.Grid, i%p.Grid
 		var start tuple.Point
@@ -277,6 +301,7 @@ func (sc *scenario) countQueryMessages(key core.QueryKey, n int) {
 	if m := sc.metrics[key]; m != nil {
 		m.Messages += n
 	}
+	sc.met.QueryMessages.Add(int64(n))
 }
 
 // quorum computes the BF completion threshold: the paper's 80% of the other

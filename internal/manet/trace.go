@@ -9,22 +9,34 @@ import (
 
 // TraceEvent is one line of the simulation's JSONL event trace, enabled by
 // Params.Trace. Events narrate the protocol at query granularity: issue,
-// local processing, result arrival, completion, and relation hand-offs.
+// local processing, filter upgrades, result arrival, completion, and
+// relation hand-offs.
+//
+// Org and Cnt are always emitted: device 0 originates queries and the
+// one-byte counter wraps, so 0 is a legitimate value for both and omitempty
+// would silently drop it (transfer events are not tied to a query and carry
+// zeros).
 type TraceEvent struct {
 	// T is the simulated time in seconds.
 	T float64 `json:"t"`
-	// Event is the event type: "issue", "process", "result", "complete",
-	// "transfer".
+	// Event is the event type: "issue", "process", "filter-update",
+	// "result", "complete", "transfer".
 	Event string `json:"event"`
 	// Device is the device the event happened on.
 	Device core.DeviceID `json:"device"`
-	// Org and Cnt identify the query (absent for transfers).
-	Org core.DeviceID `json:"org,omitempty"`
-	Cnt uint8         `json:"cnt,omitempty"`
+	// Org and Cnt identify the query.
+	Org core.DeviceID `json:"org"`
+	Cnt uint8         `json:"cnt"`
 	// Tuples counts tuples involved (result sizes, transfer sizes).
 	Tuples int `json:"tuples,omitempty"`
-	// To is the receiving device of a transfer.
-	To core.DeviceID `json:"to,omitempty"`
+	// Hops is the network distance the triggering message travelled:
+	// flood depth for BF process events, route length for results.
+	Hops int `json:"hops,omitempty"`
+	// Pruned counts local skyline tuples the query's filter(s) removed.
+	Pruned int `json:"pruned,omitempty"`
+	// To is the receiving device of a transfer (nil otherwise; a pointer
+	// so a hand-off to device 0 still serializes).
+	To *core.DeviceID `json:"to,omitempty"`
 }
 
 // trace emits one event when tracing is enabled. Encoding errors disable

@@ -1,0 +1,162 @@
+package manet
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"manetskyline/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenParams is a tiny deterministic scenario small enough that its whole
+// trace fits comfortably in testdata: 4 static devices, one query each.
+func goldenParams() Params {
+	p := DefaultParams()
+	p.Grid = 2
+	p.GlobalN = 400
+	p.SimTime = 600
+	p.MinQueries, p.MaxQueries = 1, 1
+	p.Static = true
+	p.Radio.Range = 2000
+	p.Seed = 7
+	return p
+}
+
+// TestTelemetryDoesNotPerturbRun pins the instrumentation contract: a run
+// with the full telemetry stack attached is bit-identical to one without.
+// Metrics and spans only read simulation state — they never draw from the
+// RNG, change event scheduling, or alter message sizes.
+func TestTelemetryDoesNotPerturbRun(t *testing.T) {
+	plain := Run(goldenParams())
+
+	p := goldenParams()
+	p.Metrics = telemetry.NewRegistry()
+	p.Spans = telemetry.NewSpanLog()
+	instr := Run(p)
+
+	if instr.Events != plain.Events {
+		t.Fatalf("event count changed: %d with telemetry, %d without", instr.Events, plain.Events)
+	}
+	if len(instr.Queries) != len(plain.Queries) {
+		t.Fatalf("query count changed: %d vs %d", len(instr.Queries), len(plain.Queries))
+	}
+	for i, q := range instr.Queries {
+		wq := plain.Queries[i]
+		if q.Key != wq.Key || q.Done != wq.Done || q.ResponseTime != wq.ResponseTime ||
+			q.Messages != wq.Messages || q.ResultTuples != wq.ResultTuples {
+			t.Errorf("query %d diverged: %+v vs %+v", i, q, wq)
+		}
+	}
+	if instr.Radio != plain.Radio {
+		t.Errorf("radio counters diverged: %+v vs %+v", instr.Radio, plain.Radio)
+	}
+	if instr.Aodv != plain.Aodv {
+		t.Errorf("aodv counters diverged: %+v vs %+v", instr.Aodv, plain.Aodv)
+	}
+}
+
+// TestTraceGolden pins the JSONL trace of a small deterministic run
+// byte-for-byte, so any change to event ordering, timing, or encoding shows
+// up in review. Regenerate with: go test ./internal/manet -run TraceGolden -update
+func TestTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	p := goldenParams()
+	p.Trace = &buf
+	p.Spans = telemetry.NewSpanLog()
+	out := Run(p)
+
+	path := filepath.Join("testdata", "trace_small.golden.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace diverged from golden %s\n(re-run with -update if the change is intended)\ngot %d bytes, want %d",
+			path, buf.Len(), len(want))
+	}
+
+	// Span completeness against the same run: every issued query has a span,
+	// its stages are in lifecycle order, and completed spans end properly.
+	spans := out.Spans
+	if len(spans) != len(out.Queries) {
+		t.Fatalf("%d spans for %d queries", len(spans), len(out.Queries))
+	}
+	for _, sp := range spans {
+		if len(sp.Stages) < 2 {
+			t.Fatalf("span (%d,%d) has only %d stages", sp.Org, sp.Cnt, len(sp.Stages))
+		}
+		if sp.Stages[0].Kind != telemetry.StageIssue {
+			t.Errorf("span (%d,%d) does not start with issue: %q", sp.Org, sp.Cnt, sp.Stages[0].Kind)
+		}
+		prev := -1.0
+		for i, st := range sp.Stages {
+			if st.T < prev {
+				t.Errorf("span (%d,%d) stage %d goes back in time", sp.Org, sp.Cnt, i)
+			}
+			prev = st.T
+		}
+		if !sp.Done {
+			continue
+		}
+		last := sp.Stages[len(sp.Stages)-1]
+		if last.Kind != telemetry.StageComplete {
+			t.Errorf("completed span (%d,%d) does not end with complete: %q", sp.Org, sp.Cnt, last.Kind)
+		}
+		if sp.Duration() < 0 {
+			t.Errorf("span (%d,%d) has negative duration", sp.Org, sp.Cnt)
+		}
+		if sp.Devices == 0 {
+			t.Errorf("completed span (%d,%d) reached no devices", sp.Org, sp.Cnt)
+		}
+	}
+
+	// The trace and the spans narrate the same run: per-query event counts
+	// match the span aggregates.
+	type counts struct{ process, results, completes int }
+	perKey := map[[2]int]*counts{}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for dec.More() {
+		var ev TraceEvent
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatal(err)
+		}
+		k := [2]int{int(ev.Org), int(ev.Cnt)}
+		if perKey[k] == nil {
+			perKey[k] = &counts{}
+		}
+		switch ev.Event {
+		case "process":
+			perKey[k].process++
+		case "result":
+			perKey[k].results++
+		case "complete":
+			perKey[k].completes++
+		}
+	}
+	for _, sp := range spans {
+		k := [2]int{int(sp.Org), int(sp.Cnt)}
+		c := perKey[k]
+		if c == nil {
+			t.Fatalf("span (%d,%d) has no trace events", sp.Org, sp.Cnt)
+		}
+		if c.process != sp.Devices {
+			t.Errorf("span (%d,%d): %d process events vs %d span devices", sp.Org, sp.Cnt, c.process, sp.Devices)
+		}
+		if c.results != sp.Results {
+			t.Errorf("span (%d,%d): %d result events vs %d span results", sp.Org, sp.Cnt, c.results, sp.Results)
+		}
+	}
+}

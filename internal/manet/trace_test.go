@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+
+	"manetskyline/internal/core"
 )
 
 func TestTraceEmitsCoherentEvents(t *testing.T) {
@@ -39,7 +41,7 @@ func TestTraceEmitsCoherentEvents(t *testing.T) {
 			issues++
 		case "complete":
 			completes++
-		case "process", "result", "transfer":
+		case "process", "filter-update", "result", "transfer":
 		default:
 			t.Fatalf("unknown event type %q", ev.Event)
 		}
@@ -68,6 +70,46 @@ func TestTraceEmitsCoherentEvents(t *testing.T) {
 				t.Fatalf("complete before issue for %v", k)
 			}
 		}
+	}
+}
+
+// TestTraceEventKeepsZeroValues pins the fix for a real bug: Org and Cnt
+// carried omitempty, so events for queries originated by device 0 — and any
+// query whose one-byte counter wrapped back to 0 — serialized without their
+// identifying fields and could not be correlated. Both must always be
+// emitted; the optional transfer destination stays omittable via a pointer
+// so a hand-off TO device 0 still serializes.
+func TestTraceEventKeepsZeroValues(t *testing.T) {
+	ev := TraceEvent{Event: "process", Device: 0, Org: 0, Cnt: 0}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"device":0`, `"org":0`, `"cnt":0`} {
+		if !bytes.Contains(b, []byte(field)) {
+			t.Errorf("marshalled event %s is missing %s", b, field)
+		}
+	}
+	if bytes.Contains(b, []byte(`"to"`)) {
+		t.Errorf("nil transfer destination should be omitted: %s", b)
+	}
+
+	to := core.DeviceID(0)
+	ev = TraceEvent{Event: "transfer", Device: 3, To: &to, Tuples: 7}
+	if b, err = json.Marshal(ev); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"to":0`)) {
+		t.Errorf("transfer to device 0 lost its destination: %s", b)
+	}
+
+	// Round-trip: zero identifiers survive decode.
+	var back TraceEvent
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.To == nil || *back.To != 0 {
+		t.Errorf("round-trip lost To: %+v", back)
 	}
 }
 

@@ -1,0 +1,47 @@
+package radio
+
+import "manetskyline/internal/telemetry"
+
+// Metrics is the medium's telemetry surface. The zero value (all nil) is
+// the disabled state: every increment is a nil-check no-op, keeping the
+// transmit and neighbor-query hot paths allocation-free and branch-cheap
+// (see the telemetry package contract). The legacy Counters struct remains
+// the simulator's per-run accounting; Metrics feeds the shared registry a
+// live deployment or an instrumented sweep exposes.
+type Metrics struct {
+	// Broadcasts and Unicasts count transmit calls by kind; FramesSent is
+	// their sum (kept separate so dashboards need no arithmetic).
+	Broadcasts *telemetry.Counter
+	Unicasts   *telemetry.Counter
+	FramesSent *telemetry.Counter
+	// BytesSent counts transmitted bytes including headers.
+	BytesSent *telemetry.Counter
+	// Deliveries counts successful receptions; DropsRange and DropsLoss
+	// count the two loss processes.
+	Deliveries *telemetry.Counter
+	DropsRange *telemetry.Counter
+	DropsLoss  *telemetry.Counter
+	// NeighborQueries and NeighborScanned expose the spatial-grid query
+	// cost: probes issued and candidate nodes distance-checked.
+	NeighborQueries *telemetry.Counter
+	NeighborScanned *telemetry.Counter
+}
+
+// NewMetrics registers the medium's metrics in r (nil r ⇒ disabled metrics).
+func NewMetrics(r *telemetry.Registry) Metrics {
+	return Metrics{
+		Broadcasts:      r.Counter("radio_broadcasts_total", "broadcast transmissions"),
+		Unicasts:        r.Counter("radio_unicasts_total", "unicast transmissions"),
+		FramesSent:      r.Counter("radio_frames_sent_total", "frames transmitted (broadcast or unicast)"),
+		BytesSent:       r.Counter("radio_bytes_sent_total", "bytes transmitted including headers"),
+		Deliveries:      r.Counter("radio_deliveries_total", "frames successfully delivered to a receiver"),
+		DropsRange:      r.Counter("radio_drops_range_total", "frames lost to range/fading at delivery time"),
+		DropsLoss:       r.Counter("radio_drops_loss_total", "frames lost to the independent loss process"),
+		NeighborQueries: r.Counter("radio_neighbor_queries_total", "neighbor-set probes against the spatial grid"),
+		NeighborScanned: r.Counter("radio_neighbor_scanned_total", "candidate nodes distance-checked by neighbor probes"),
+	}
+}
+
+// SetMetrics attaches telemetry to the medium; call before the simulation
+// (or traffic) starts. The zero Metrics value detaches it.
+func (m *Medium) SetMetrics(met Metrics) { m.met = met }

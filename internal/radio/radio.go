@@ -140,6 +140,9 @@ type Medium struct {
 	// Counters is exported for metric collection; reset between scenarios
 	// if per-run deltas are needed.
 	Counters Counters
+
+	// met is the optional telemetry surface (zero value = disabled).
+	met Metrics
 }
 
 type node struct {
@@ -285,6 +288,7 @@ func (m *Medium) Neighbors(id NodeID) []NodeID {
 // direct scan over the memoized positions, with no gather or re-sort.
 func (m *Medium) NeighborsInto(id NodeID, buf []NodeID) []NodeID {
 	buf = buf[:0]
+	m.met.NeighborQueries.Inc()
 	m.refreshGrid()
 	self := &m.nodes[id]
 	p := self.pos // memoized by refreshGrid
@@ -306,6 +310,7 @@ func (m *Medium) NeighborsInto(id NodeID, buf []NodeID) []NodeID {
 	}
 	if bx0 == 0 && by0 == 0 && bx1 == m.gridW-1 && by1 == m.gridH-1 {
 		// Full coverage: every node is a candidate, already in ID order.
+		m.met.NeighborScanned.Add(int64(len(m.nodes) - 1))
 		for i := range m.nodes {
 			n := &m.nodes[i]
 			if n.id != id && p.WithinDist(n.pos, m.cfg.Range) {
@@ -323,6 +328,7 @@ func (m *Medium) NeighborsInto(id NodeID, buf []NodeID) []NodeID {
 	}
 	// Cells are visited in block order, so candidates must be re-sorted to
 	// restore the global ID order the brute-force scan produced.
+	m.met.NeighborScanned.Add(int64(len(cand)))
 	slices.Sort(cand)
 	for _, nid := range cand {
 		if nid == id {
@@ -368,6 +374,7 @@ func (d *delivery) Run() {
 			continue
 		}
 		m.Counters.Receptions++
+		m.met.Deliveries.Inc()
 		m.nodes[to].handler(d.from, d.p)
 	}
 	d.p = nil
@@ -400,6 +407,9 @@ func (m *Medium) Unicast(from, to NodeID, p Payload) bool {
 	start, airtime := m.txDelay(src, p.SizeBytes())
 	m.Counters.FramesSent++
 	m.Counters.BytesSent += p.SizeBytes() + m.cfg.HeaderBytes
+	m.met.Unicasts.Inc()
+	m.met.FramesSent.Inc()
+	m.met.BytesSent.Add(int64(p.SizeBytes() + m.cfg.HeaderBytes))
 	d := m.getDelivery()
 	d.from = from
 	d.to = append(d.to[:0], to)
@@ -414,6 +424,7 @@ func (m *Medium) received(from, to NodeID) bool {
 	d := m.PosOf(from).Dist(m.PosOf(to))
 	if d > m.cfg.Range {
 		m.Counters.DroppedRange++
+		m.met.DropsRange.Inc()
 		return false
 	}
 	if m.cfg.FadeMargin > 0 {
@@ -422,12 +433,14 @@ func (m *Medium) received(from, to NodeID) bool {
 			pRecv := (m.cfg.Range - d) / (m.cfg.Range - edge)
 			if m.rng.Float64() >= pRecv {
 				m.Counters.DroppedRange++
+				m.met.DropsRange.Inc()
 				return false
 			}
 		}
 	}
 	if m.cfg.Loss > 0 && m.rng.Float64() < m.cfg.Loss {
 		m.Counters.DroppedLoss++
+		m.met.DropsLoss.Inc()
 		return false
 	}
 	return true
@@ -445,6 +458,9 @@ func (m *Medium) Broadcast(from NodeID, p Payload) int {
 	start, airtime := m.txDelay(src, p.SizeBytes())
 	m.Counters.FramesSent++
 	m.Counters.BytesSent += p.SizeBytes() + m.cfg.HeaderBytes
+	m.met.Broadcasts.Inc()
+	m.met.FramesSent.Inc()
+	m.met.BytesSent.Add(int64(p.SizeBytes() + m.cfg.HeaderBytes))
 	if len(d.to) == 0 {
 		m.free = append(m.free, d)
 		return 0

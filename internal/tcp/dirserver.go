@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"manetskyline/internal/core"
+	"manetskyline/internal/telemetry"
 )
 
 // Resolver maps device IDs to addresses; Peer uses it to reach originators
@@ -45,8 +46,15 @@ type DirectoryServer struct {
 	ln  net.Listener
 	wg  sync.WaitGroup
 
+	met Metrics
+
 	mu     sync.Mutex
 	closed bool
+}
+
+// SetRegistry attaches telemetry to the server; call before clients connect.
+func (s *DirectoryServer) SetRegistry(r *telemetry.Registry) {
+	s.met = NewMetrics(r)
 }
 
 // NewDirectoryServer starts serving on addr ("127.0.0.1:0" for an
@@ -100,6 +108,7 @@ func (s *DirectoryServer) serve(conn net.Conn) {
 	if err := json.NewDecoder(conn).Decode(&req); err != nil {
 		return
 	}
+	s.met.DirRequests.Inc()
 	enc := json.NewEncoder(conn)
 	switch req.Op {
 	case "register":

@@ -1,0 +1,54 @@
+package tcp
+
+import "manetskyline/internal/telemetry"
+
+// Metrics is the TCP runtime's telemetry surface. The zero value (all nil)
+// is the disabled state; increments then cost one nil check. Several peers
+// in one process may share a registry: registration dedupes by name, so
+// they accumulate into the same counters.
+type Metrics struct {
+	// ConnsAccepted counts inbound connections; OpenConns tracks the ones
+	// currently being served.
+	ConnsAccepted *telemetry.Counter
+	OpenConns     *telemetry.Gauge
+	// Dials and DialFailures count outbound connection attempts.
+	Dials        *telemetry.Counter
+	DialFailures *telemetry.Counter
+	// MessagesIn/Out and BytesIn/Out count framed protocol messages and
+	// their wire bytes (payload plus the 4-byte length prefix).
+	MessagesIn  *telemetry.Counter
+	MessagesOut *telemetry.Counter
+	BytesIn     *telemetry.Counter
+	BytesOut    *telemetry.Counter
+	// QueriesIssued and QueriesCompleted count distributed queries
+	// originated here; QueryLatency observes their end-to-end seconds.
+	QueriesIssued    *telemetry.Counter
+	QueriesCompleted *telemetry.Counter
+	QueryLatency     *telemetry.Histogram
+	// DirRequests counts directory protocol requests served.
+	DirRequests *telemetry.Counter
+}
+
+// NewMetrics registers the TCP metrics in r (nil r ⇒ disabled metrics).
+func NewMetrics(r *telemetry.Registry) Metrics {
+	return Metrics{
+		ConnsAccepted: r.Counter("tcp_conns_accepted_total", "inbound connections accepted"),
+		OpenConns:     r.Gauge("tcp_open_conns", "inbound connections currently being served"),
+		Dials:         r.Counter("tcp_dials_total", "outbound connection attempts"),
+		DialFailures:  r.Counter("tcp_dial_failures_total", "outbound connection attempts that failed"),
+		MessagesIn:    r.Counter("tcp_messages_in_total", "framed protocol messages received"),
+		MessagesOut:   r.Counter("tcp_messages_out_total", "framed protocol messages sent"),
+		BytesIn:       r.Counter("tcp_bytes_in_total", "wire bytes received including frame headers"),
+		BytesOut:      r.Counter("tcp_bytes_out_total", "wire bytes sent including frame headers"),
+		QueriesIssued: r.Counter("tcp_queries_issued_total", "distributed queries originated by this peer"),
+		QueriesCompleted: r.Counter("tcp_queries_completed_total",
+			"originated queries whose quorum of results arrived in time"),
+		QueryLatency: r.Histogram("tcp_query_latency_seconds",
+			"end-to-end latency of originated queries", telemetry.LatencyBuckets()),
+		DirRequests: r.Counter("tcp_dir_requests_total", "directory protocol requests served"),
+	}
+}
+
+// frameBytes is the wire size of one framed message: the payload plus the
+// 4-byte length prefix (see internal/wire).
+func frameBytes(msg []byte) int64 { return int64(len(msg)) + 4 }

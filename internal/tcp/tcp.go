@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"manetskyline/internal/core"
+	"manetskyline/internal/telemetry"
 	"manetskyline/internal/tuple"
 	"manetskyline/internal/wire"
 )
@@ -58,6 +59,9 @@ type Config struct {
 	Quorum float64
 	// DialTimeout bounds outgoing connection attempts.
 	DialTimeout time.Duration
+	// Registry, when non-nil, receives live tcp_* and core_* metrics from
+	// this peer (exposed over /metrics by cmd/skypeer).
+	Registry *telemetry.Registry
 }
 
 // DefaultConfig returns settings suitable for localhost demos and tests.
@@ -93,6 +97,8 @@ type Peer struct {
 	pending   map[core.QueryKey]*pendingQuery
 	closed    bool
 
+	met Metrics
+
 	wg sync.WaitGroup
 }
 
@@ -123,7 +129,9 @@ func NewPeer(id core.DeviceID, ts []tuple.Tuple, schema tuple.Schema,
 		dir:     dir,
 		ln:      ln,
 		pending: make(map[core.QueryKey]*pendingQuery),
+		met:     NewMetrics(cfg.Registry),
 	}
+	p.dev.Met = core.NewMetrics(cfg.Registry, mode)
 	dir.Register(id, ln.Addr().String())
 	p.wg.Add(1)
 	go p.acceptLoop()
@@ -180,6 +188,7 @@ func (p *Peer) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		p.met.ConnsAccepted.Inc()
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
@@ -191,11 +200,15 @@ func (p *Peer) acceptLoop() {
 // serve handles one inbound connection: a stream of framed messages.
 func (p *Peer) serve(conn net.Conn) {
 	defer conn.Close()
+	p.met.OpenConns.Inc()
+	defer p.met.OpenConns.Dec()
 	for {
 		msg, err := wire.ReadFrame(conn)
 		if err != nil {
 			return
 		}
+		p.met.MessagesIn.Inc()
+		p.met.BytesIn.Add(frameBytes(msg))
 		kind, err := wire.Peek(msg)
 		if err != nil {
 			return
@@ -225,20 +238,25 @@ func (p *Peer) send(to core.DeviceID, msg []byte) {
 	if !ok {
 		return
 	}
+	p.met.Dials.Inc()
 	conn, err := net.DialTimeout("tcp", addr, p.cfg.DialTimeout)
 	if err != nil {
+		p.met.DialFailures.Inc()
 		return
 	}
 	defer conn.Close()
 	conn.SetWriteDeadline(time.Now().Add(p.cfg.DialTimeout))
-	_ = wire.WriteFrame(conn, msg)
+	if wire.WriteFrame(conn, msg) == nil {
+		p.met.MessagesOut.Inc()
+		p.met.BytesOut.Add(frameBytes(msg))
+	}
 }
 
 // handleQuery runs the remote side of the flood: process once, return the
 // reduced skyline to the originator, keep flooding with the possibly
 // upgraded filter.
 func (p *Peer) handleQuery(q core.Query) {
-	if !p.dev.Log.FirstTime(q.Key()) {
+	if !p.dev.FirstTime(q.Key()) {
 		return
 	}
 	res := p.dev.Process(q)
@@ -331,5 +349,10 @@ func (p *Peer) Query(d float64, totalPeers int) (QueryResult, error) {
 	}
 	delete(p.pending, q.Key())
 	p.mu.Unlock()
+	p.met.QueriesIssued.Inc()
+	p.met.QueryLatency.Observe(out.Elapsed.Seconds())
+	if complete {
+		p.met.QueriesCompleted.Inc()
+	}
 	return out, nil
 }

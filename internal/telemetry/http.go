@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// HTTP exposition: Handler and JSONHandler serve one registry; NewMux
+// bundles them with net/http/pprof under the conventional paths, giving a
+// live peer (cmd/skypeer) its /metrics + /debug/pprof endpoint in one call:
+//
+//	go http.ListenAndServe(addr, telemetry.NewMux(reg))
+
+// Handler serves the registry in the Prometheus text exposition format.
+// A nil registry serves an empty (but valid) exposition.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the registry as a JSON snapshot.
+func JSONHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}
+
+// NewMux returns a mux serving /metrics (Prometheus text), /metrics.json
+// (JSON snapshot), and the standard /debug/pprof profiling endpoints.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/metrics.json", JSONHandler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Spans turn the flat per-event trace into per-query timelines: one Span
+// per query, accumulating its issue→process→filter-update→result→complete
+// stages together with hop counts and filter-prune tallies. The simulator
+// feeds a SpanLog alongside its JSONL trace (internal/manet); the TCP peer
+// runtime can feed the same structure for live queries. Spans are an
+// enabled-only feature and may allocate (stage slices grow); the zero-alloc
+// guarantee of this package covers counters, gauges, and histograms.
+
+// Stage kinds, in canonical lifecycle order.
+const (
+	StageIssue        = "issue"
+	StageProcess      = "process"
+	StageFilterUpdate = "filter-update"
+	StageResult       = "result"
+	StageComplete     = "complete"
+)
+
+// SpanKey identifies one query instance (the paper's (id, cnt) pair).
+type SpanKey struct {
+	Org int32 `json:"org"`
+	Cnt int32 `json:"cnt"`
+}
+
+// Stage is one step of a query's timeline.
+type Stage struct {
+	// T is the stage's timestamp: simulated seconds in the simulator,
+	// wall-clock seconds since query start in the live runtime.
+	T float64 `json:"t"`
+	// Kind is one of the Stage* constants.
+	Kind string `json:"kind"`
+	// Device is the device the stage happened on.
+	Device int32 `json:"device"`
+	// Tuples counts tuples involved (local skyline size, result size).
+	Tuples int `json:"tuples,omitempty"`
+	// Hops is the network distance the triggering message travelled
+	// (flood depth for process stages, route length for result stages).
+	Hops int `json:"hops,omitempty"`
+	// Pruned counts tuples the query's filter(s) removed at this device.
+	Pruned int `json:"pruned,omitempty"`
+}
+
+// Span is one query's assembled timeline with aggregate tallies.
+type Span struct {
+	Org int32 `json:"org"`
+	Cnt int32 `json:"cnt"`
+	// Start and End are the issue and completion timestamps; End is
+	// meaningful only when Done.
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	Done  bool    `json:"done"`
+	// Stages is the ordered timeline.
+	Stages []Stage `json:"stages"`
+	// Devices counts process stages (each device processes a query at most
+	// once, so this is the number of devices the query reached).
+	Devices int `json:"devices"`
+	// Results counts result stages observed at the originator.
+	Results int `json:"results"`
+	// MaxHops is the largest hop count any stage reported.
+	MaxHops int `json:"max_hops"`
+	// Pruned is the total filter-prune tally across devices.
+	Pruned int `json:"pruned"`
+	// FilterUpdates counts dynamic filter replacements along the way.
+	FilterUpdates int `json:"filter_updates"`
+	// ResultTuples is the final merged skyline size (when Done).
+	ResultTuples int `json:"result_tuples"`
+}
+
+// Duration is End-Start for completed spans, 0 otherwise.
+func (s *Span) Duration() float64 {
+	if !s.Done {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// SpanLog collects spans for many queries. All methods are safe on a nil
+// receiver (no-op), so callers instrument unconditionally, and are
+// goroutine-safe for the live runtime.
+type SpanLog struct {
+	mu    sync.Mutex
+	spans map[SpanKey]*Span
+	order []SpanKey
+}
+
+// NewSpanLog returns an empty span log.
+func NewSpanLog() *SpanLog {
+	return &SpanLog{spans: make(map[SpanKey]*Span)}
+}
+
+// Begin opens a span at time t on the originating device and records its
+// issue stage.
+func (l *SpanLog) Begin(k SpanKey, t float64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.spans[k]; ok {
+		return
+	}
+	sp := &Span{Org: k.Org, Cnt: k.Cnt, Start: t}
+	sp.Stages = append(sp.Stages, Stage{T: t, Kind: StageIssue, Device: k.Org})
+	l.spans[k] = sp
+	l.order = append(l.order, k)
+}
+
+// Observe appends a stage to an open span and folds it into the span's
+// aggregate tallies. Stages for unknown keys are dropped.
+func (l *SpanLog) Observe(k SpanKey, st Stage) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sp := l.spans[k]
+	if sp == nil {
+		return
+	}
+	sp.Stages = append(sp.Stages, st)
+	switch st.Kind {
+	case StageProcess:
+		sp.Devices++
+		sp.Pruned += st.Pruned
+	case StageResult:
+		sp.Results++
+	case StageFilterUpdate:
+		sp.FilterUpdates++
+	}
+	if st.Hops > sp.MaxHops {
+		sp.MaxHops = st.Hops
+	}
+}
+
+// Complete closes a span at time t with the final merged result size.
+func (l *SpanLog) Complete(k SpanKey, t float64, resultTuples int) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sp := l.spans[k]
+	if sp == nil || sp.Done {
+		return
+	}
+	sp.Done = true
+	sp.End = t
+	sp.ResultTuples = resultTuples
+	sp.Stages = append(sp.Stages, Stage{
+		T: t, Kind: StageComplete, Device: k.Org, Tuples: resultTuples,
+	})
+}
+
+// Spans returns every span in Begin order. The returned spans are the live
+// objects; callers must not mutate them while the log is still being fed.
+func (l *SpanLog) Spans() []*Span {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Span, 0, len(l.order))
+	for _, k := range l.order {
+		out = append(out, l.spans[k])
+	}
+	return out
+}
+
+// Len returns the number of open or completed spans.
+func (l *SpanLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.order)
+}
+
+// WriteJSON dumps every span as an indented JSON array.
+func (l *SpanLog) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	spans := l.Spans()
+	if spans == nil {
+		spans = []*Span{}
+	}
+	return enc.Encode(spans)
+}

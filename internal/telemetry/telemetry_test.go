@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+}
+
+func TestRegistryDedupes(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "h")
+	b := r.Counter("dup_total", "h")
+	if a != b {
+		t.Errorf("same name should return the same counter")
+	}
+	l1 := r.CounterL("dup_total", `mode="A"`, "h")
+	l2 := r.CounterL("dup_total", `mode="B"`, "h")
+	if l1 == l2 || l1 == a {
+		t.Errorf("distinct label sets should be distinct metrics")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("re-registering as a different type should panic")
+		}
+	}()
+	r.Gauge("dup_total", "h")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("invalid metric name should panic")
+		}
+	}()
+	r.Counter("bad name!", "h")
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "a histogram", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 106 {
+		t.Errorf("sum = %g, want 106", got)
+	}
+	if got := h.Mean(); math.Abs(got-21.2) > 1e-9 {
+		t.Errorf("mean = %g, want 21.2", got)
+	}
+	// Cumulative buckets at exposition: le=1 → 2 (0.5 and the boundary
+	// value 1), le=2 → 3, le=4 → 4, +Inf → 5.
+	snap := r.Snapshot()
+	hs := snap.Histograms["h_seconds"]
+	want := []int64{2, 3, 4, 5}
+	for i, b := range hs.Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, b.Count, want[i])
+		}
+	}
+	if !hs.Buckets[3].Inf {
+		t.Errorf("last bucket should be +Inf")
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("non-increasing bounds should panic")
+		}
+	}()
+	r.Histogram("bad_seconds", "h", []float64{1, 1})
+}
+
+// TestNilRegistryIsNoOp pins the disabled state: a nil registry yields nil
+// metrics whose every method is safe.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c_total", "h")
+	g := r.Gauge("g", "h")
+	h := r.Histogram("h_seconds", "h", []float64{1})
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must return nil metrics")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Inc()
+	g.Dec()
+	g.Add(2)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Errorf("nil metrics must read as zero")
+	}
+	if got := r.collect(); got != nil {
+		t.Errorf("nil registry collect = %v, want nil", got)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Errorf("nil registry exposition should be empty, got %q (%v)", sb.String(), err)
+	}
+}
+
+// TestTelemetryZeroAllocs is the hot-path gate: enabled counters, gauges,
+// and histograms must not allocate per operation, and neither must the
+// disabled (nil) path. The CI allocation-gate step runs this by name.
+func TestTelemetryZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_c_total", "h")
+	g := r.Gauge("alloc_g", "h")
+	h := r.Histogram("alloc_h_seconds", "h", LatencyBuckets())
+	var nc *Counter
+	var ng *Gauge
+	var nh *Histogram
+
+	cases := []struct {
+		name string
+		op   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(7) }},
+		{"Gauge.Add", func() { g.Add(-1) }},
+		{"Histogram.Observe", func() { h.Observe(0.042) }},
+		{"nil Counter.Inc", func() { nc.Inc() }},
+		{"nil Gauge.Set", func() { ng.Set(1) }},
+		{"nil Histogram.Observe", func() { nh.Observe(1) }},
+	}
+	for _, tc := range cases {
+		if avg := testing.AllocsPerRun(1000, tc.op); avg != 0 {
+			t.Errorf("%s allocates %.1f times per op, want 0", tc.name, avg)
+		}
+	}
+}
+
+// TestConcurrentUpdates exercises the atomics under the race detector.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total", "h")
+	h := r.Histogram("race_seconds", "h", LatencyBuckets())
+	g := r.Gauge("race_g", "h")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.01)
+			}
+		}()
+	}
+	// Concurrent exposition must be safe too.
+	var sb strings.Builder
+	_ = r.WritePrometheus(&sb)
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := h.Sum(); math.Abs(got-workers*per*0.01) > 1e-6 {
+		t.Errorf("histogram sum = %g, want %g", got, float64(workers*per)*0.01)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "requests served").Add(3)
+	r.GaugeL("app_conns", `kind="tcp"`, "open connections").Set(2)
+	h := r.Histogram("app_latency_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP app_requests_total requests served",
+		"# TYPE app_requests_total counter",
+		"app_requests_total 3",
+		`app_conns{kind="tcp"} 2`,
+		"# TYPE app_latency_seconds histogram",
+		`app_latency_seconds_bucket{le="0.1"} 1`,
+		`app_latency_seconds_bucket{le="1"} 2`,
+		`app_latency_seconds_bucket{le="+Inf"} 2`,
+		"app_latency_seconds_sum 0.55",
+		"app_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: two renders agree.
+	var sb2 strings.Builder
+	_ = r.WritePrometheus(&sb2)
+	if sb2.String() != out {
+		t.Errorf("exposition is not deterministic")
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("j_total", "h").Inc()
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"j_total": 1`) {
+		t.Errorf("JSON snapshot missing counter: %s", sb.String())
+	}
+}
