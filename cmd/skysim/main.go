@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"manetskyline/internal/core"
+	"manetskyline/internal/faults"
 	"manetskyline/internal/gen"
 	"manetskyline/internal/manet"
 	"manetskyline/internal/stats"
@@ -45,11 +46,20 @@ func run() error {
 		fade     = flag.Float64("fade", 0, "radio gray-zone fade margin in [0,1]")
 		loss     = flag.Float64("loss", 0, "independent frame loss probability")
 		redist   = flag.Bool("redistribute", false, "hand relations to devices closer to the data (§7 extension)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		trace    = flag.String("trace", "", "write a JSONL event trace to this file")
-		metrics  = flag.String("metrics", "", `dump Prometheus-format metrics to this file ("-" for stdout)`)
-		spansOut = flag.String("spans", "", `write per-query span timelines as JSON to this file ("-" for stdout)`)
-		verbose  = flag.Bool("v", false, "print per-query metrics")
+		faultsIn = flag.String("faults", "", "fault plan: a builtin name ("+
+			"crash, pause, partition, crash+partition, lossy-center, chaos, churn) or a JSON plan file")
+		recall     = flag.Bool("recall", false, "score every result against the centralized skyline oracle")
+		retries    = flag.Int("retries", 0, "originator re-issues per query (0 disables)")
+		backoff    = flag.Float64("backoff", 15, "delay before the first re-issue, doubling per attempt")
+		backoffMax = flag.Float64("backoffmax", 120, "cap on the retry backoff (0 = uncapped)")
+		deadline   = flag.Float64("deadline", 0, "per-query deadline in simulated seconds (0 disables)")
+		ackTO      = flag.Float64("acktimeout", 5, "DF neighbour acknowledgement timeout")
+		subtreeTO  = flag.Float64("subtreetimeout", 300, "DF child subtree result timeout")
+		seed       = flag.Int64("seed", 1, "random seed")
+		trace      = flag.String("trace", "", "write a JSONL event trace to this file")
+		metrics    = flag.String("metrics", "", `dump Prometheus-format metrics to this file ("-" for stdout)`)
+		spansOut   = flag.String("spans", "", `write per-query span timelines as JSON to this file ("-" for stdout)`)
+		verbose    = flag.Bool("v", false, "print per-query metrics")
 	)
 	flag.Parse()
 
@@ -66,7 +76,21 @@ func run() error {
 	p.Radio.FadeMargin = *fade
 	p.Radio.Loss = *loss
 	p.Redistribute = *redist
+	p.Recall = *recall
+	p.QueryRetries = *retries
+	p.RetryBackoff = *backoff
+	p.RetryBackoffMax = *backoffMax
+	p.QueryDeadline = *deadline
+	p.AckTimeout = *ackTO
+	p.SubtreeTimeout = *subtreeTO
 	p.Seed = *seed
+	if *faultsIn != "" {
+		plan, err := faults.Load(*faultsIn, p.NumDevices(), p.SimTime)
+		if err != nil {
+			return err
+		}
+		p.Faults = plan
+	}
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {
@@ -126,10 +150,20 @@ func run() error {
 			rt := ""
 			if q.Done {
 				status = "done"
+				if q.Partial {
+					status = "partial"
+				}
 				rt = fmt.Sprintf(" rt=%.3fs", q.ResponseTime)
 			}
-			fmt.Printf("  org=%-3d cnt=%-3d t=%-8.1f %-10s%s drr=%+.3f devices=%d msgs=%d result=%d\n",
-				q.Org, q.Key.Cnt, q.Issued, status, rt, q.DRR(), q.Acc.Devices, q.Messages, q.ResultTuples)
+			extra := ""
+			if q.Retries > 0 {
+				extra += fmt.Sprintf(" retries=%d", q.Retries)
+			}
+			if out.RecallComputed {
+				extra += fmt.Sprintf(" recall=%.3f prec=%.3f", q.Recall, q.Precision)
+			}
+			fmt.Printf("  org=%-3d cnt=%-3d t=%-8.1f %-10s%s drr=%+.3f devices=%d msgs=%d result=%d%s\n",
+				q.Org, q.Key.Cnt, q.Issued, status, rt, q.DRR(), q.Acc.Devices, q.Messages, q.ResultTuples, extra)
 		}
 	}
 
@@ -158,6 +192,26 @@ func run() error {
 		out.Aodv.DataForwarded, out.Aodv.DataDelivered, out.Aodv.DataDropped)
 	if out.Transfers > 0 {
 		fmt.Printf("redistribution:   %d relation hand-offs\n", out.Transfers)
+	}
+	if p.Faults != nil {
+		partial, retried := 0, 0
+		for _, q := range out.Queries {
+			if q.Partial {
+				partial++
+			}
+			retried += q.Retries
+		}
+		fmt.Printf("fault plan %q:    %d outage, %d link, %d region, %d partition drops; %d duped, %d reordered\n",
+			p.Faults.Name, out.Faults.OutageDrops, out.Faults.LinkDrops,
+			out.Faults.RegionDrops, out.Faults.PartitionDrops,
+			out.Faults.Duplicated, out.Faults.Reordered)
+		fmt.Printf("degradation:      %d partial results, %d re-issues\n", partial, retried)
+	}
+	if out.RecallComputed {
+		if r, ok := out.MeanRecall(); ok {
+			pr, _ := out.MeanPrecision()
+			fmt.Printf("recall:           mean %.3f, precision %.3f (centralized oracle)\n", r, pr)
+		}
 	}
 	fmt.Printf("events executed:  %d\n", out.Events)
 

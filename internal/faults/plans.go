@@ -1,0 +1,135 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Named builds one of the built-in plans, scaled to a network of numNodes
+// nodes running for simTime simulated seconds. The built-ins cover the
+// regimes the paper's MANET premise implies but never measures:
+//
+//	crash            two nodes die permanently at 25% and 50% of the run
+//	pause            one node sleeps through the middle third, then reboots
+//	partition        the network splits in two halves for the middle third
+//	crash+partition  both of the above combined (the golden-replay plan)
+//	lossy-center     50% frame loss inside the central quarter of the field
+//	chaos            10% duplication and 10% reordering (≤2 s) all run long
+//	churn            Poisson-ish outage churn, ~2 outages per node, mean
+//	                 downtime 10% of the run
+func Named(name string, numNodes int, simTime float64) (*Plan, error) {
+	if numNodes < 1 {
+		return nil, fmt.Errorf("faults: named plan needs a positive node count, got %d", numNodes)
+	}
+	mid := func(frac float64) float64 { return simTime * frac }
+	crash := []Outage{
+		{Window: Window{Start: mid(0.25)}, Node: numNodes / 2},
+	}
+	if numNodes > 1 {
+		crash = append(crash, Outage{Window: Window{Start: mid(0.5)}, Node: numNodes - 1})
+	}
+	halfA := make([]int, 0, numNodes/2)
+	halfB := make([]int, 0, numNodes-numNodes/2)
+	for i := 0; i < numNodes; i++ {
+		if i < numNodes/2 {
+			halfA = append(halfA, i)
+		} else {
+			halfB = append(halfB, i)
+		}
+	}
+	partition := []Partition{{
+		Window: Window{Start: mid(1.0 / 3), End: mid(2.0 / 3)},
+		Groups: [][]int{halfA, halfB},
+	}}
+	switch name {
+	case "crash":
+		return &Plan{Name: name, Outages: crash}, nil
+	case "pause":
+		return &Plan{Name: name, Outages: []Outage{
+			{Window: Window{Start: mid(1.0 / 3), End: mid(2.0 / 3)}, Node: 0},
+		}}, nil
+	case "partition":
+		return &Plan{Name: name, Partitions: partition}, nil
+	case "crash+partition":
+		return &Plan{Name: name, Outages: crash, Partitions: partition}, nil
+	case "lossy-center":
+		return &Plan{Name: name, RegionLoss: []RegionLoss{{
+			Window: Window{Start: 0, End: simTime},
+			MinX:   250, MinY: 250, MaxX: 750, MaxY: 750,
+			Prob: 0.5,
+		}}}, nil
+	case "chaos":
+		return &Plan{Name: name,
+			Duplicate: []Chaos{{Window: Window{Start: 0, End: simTime}, Prob: 0.1, MaxExtra: 2}},
+			Reorder:   []Chaos{{Window: Window{Start: 0, End: simTime}, Prob: 0.1, MaxDelay: 2}},
+		}, nil
+	case "churn":
+		return ChurnPlan(numNodes, simTime, 2, 0.1, 1), nil
+	default:
+		return nil, fmt.Errorf("faults: unknown plan %q (have %s)", name, strings.Join(PlanNames(), ", "))
+	}
+}
+
+// PlanNames lists the built-in plan names.
+func PlanNames() []string {
+	names := []string{"crash", "pause", "partition", "crash+partition", "lossy-center", "chaos", "churn"}
+	sort.Strings(names)
+	return names
+}
+
+// ChurnPlan generates a deterministic node-churn schedule: each node
+// suffers ~perNode outages at random times, each lasting ~downFrac of the
+// run on average (exponential-ish via the uniform draw). Node 0 is spared
+// so the network always retains at least one stable member.
+func ChurnPlan(numNodes int, simTime, perNode, downFrac float64, seed int64) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Plan{Name: "churn", Seed: seed}
+	for n := 1; n < numNodes; n++ {
+		k := int(perNode)
+		if rng.Float64() < perNode-float64(k) {
+			k++
+		}
+		for i := 0; i < k; i++ {
+			start := rng.Float64() * simTime * 0.9
+			down := rng.Float64() * 2 * downFrac * simTime
+			end := start + down
+			if end > simTime {
+				end = simTime
+			}
+			p.Outages = append(p.Outages, Outage{Window: Window{Start: start, End: end}, Node: n})
+		}
+	}
+	sort.Slice(p.Outages, func(i, j int) bool {
+		if p.Outages[i].Start != p.Outages[j].Start {
+			return p.Outages[i].Start < p.Outages[j].Start
+		}
+		return p.Outages[i].Node < p.Outages[j].Node
+	})
+	return p
+}
+
+// Load resolves a -faults flag: a built-in plan name, or a path to a JSON
+// plan file (tried whenever the name is unknown, preferred when the file
+// exists). The returned plan is validated against the node count.
+func Load(spec string, numNodes int, simTime float64) (*Plan, error) {
+	var p *Plan
+	if _, err := os.Stat(spec); err == nil {
+		p, err = ReadFile(spec)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var nerr error
+		p, nerr = Named(spec, numNodes, simTime)
+		if nerr != nil {
+			return nil, nerr
+		}
+	}
+	if err := p.Validate(numNodes); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,196 @@
+package manet
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"manetskyline/internal/faults"
+)
+
+// faultGoldenParams is the pinned crash+partition replay scenario: a static
+// multi-hop 3×3 grid where the fault plan crashes two devices and splits the
+// network in half mid-run, with the retry/deadline policy and the recall
+// oracle enabled.
+func faultGoldenParams() Params {
+	p := DefaultParams()
+	p.Grid = 3
+	p.GlobalN = 900
+	p.SimTime = 1800
+	p.MinQueries, p.MaxQueries = 1, 1
+	p.Static = true
+	p.Radio.Range = 600 // multi-hop: partitions and crashes actually bite
+	p.QueryRetries = 2
+	p.RetryBackoff = 10
+	p.RetryBackoffMax = 60
+	p.QueryDeadline = 600
+	p.Recall = true
+	p.Seed = 11
+	plan, err := faults.Named("crash+partition", p.NumDevices(), p.SimTime)
+	if err != nil {
+		panic(err)
+	}
+	p.Faults = plan
+	return p
+}
+
+// faultSummary is the pinned per-run recall accounting.
+type faultSummary struct {
+	Queries []faultQuerySummary `json:"queries"`
+	Faults  faults.Stats        `json:"faults"`
+}
+
+type faultQuerySummary struct {
+	Org     int     `json:"org"`
+	Cnt     int     `json:"cnt"`
+	Done    bool    `json:"done"`
+	Partial bool    `json:"partial,omitempty"`
+	Retries int     `json:"retries,omitempty"`
+	Tuples  int     `json:"tuples"`
+	Truth   int     `json:"truth"`
+	Recall  float64 `json:"recall"`
+}
+
+// TestFaultGoldenCrashPartition pins a faulty run end to end: the JSONL
+// trace (protocol events interleaved with fault boundary events) and the
+// recall summary must replay byte-for-byte. Regenerate with:
+// go test ./internal/manet -run FaultGolden -update
+func TestFaultGoldenCrashPartition(t *testing.T) {
+	var buf bytes.Buffer
+	p := faultGoldenParams()
+	p.Trace = &buf
+	out := Run(p)
+
+	sum := faultSummary{Faults: out.Faults}
+	for _, q := range out.Queries {
+		sum.Queries = append(sum.Queries, faultQuerySummary{
+			Org: int(q.Org), Cnt: int(q.Key.Cnt), Done: q.Done,
+			Partial: q.Partial, Retries: q.Retries,
+			Tuples: q.ResultTuples, Truth: q.TruthTuples, Recall: q.Recall,
+		})
+	}
+	var sumBuf bytes.Buffer
+	enc := json.NewEncoder(&sumBuf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		t.Fatal(err)
+	}
+
+	tracePath := filepath.Join("testdata", "fault_crash_partition.trace.jsonl")
+	sumPath := filepath.Join("testdata", "fault_crash_partition.summary.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(tracePath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(sumPath, sumBuf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantTrace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), wantTrace) {
+		t.Fatalf("fault trace diverged from golden %s\ngot %d bytes, want %d",
+			tracePath, buf.Len(), len(wantTrace))
+	}
+	wantSum, err := os.ReadFile(sumPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(sumBuf.Bytes(), wantSum) {
+		t.Fatalf("fault summary diverged from golden %s\ngot:\n%s\nwant:\n%s",
+			sumPath, sumBuf.String(), wantSum)
+	}
+
+	// The plan must actually have perturbed the run, or the golden pins
+	// nothing interesting.
+	if out.Faults.OutageDrops == 0 && out.Faults.PartitionDrops == 0 {
+		t.Errorf("crash+partition plan dropped nothing: %+v", out.Faults)
+	}
+	hasFaultEvent := false
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for dec.More() {
+		var ev TraceEvent
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Event == "fault" {
+			hasFaultEvent = true
+		}
+	}
+	if !hasFaultEvent {
+		t.Errorf("trace contains no fault boundary events")
+	}
+}
+
+// TestFaultGoldenDeterministic re-runs the pinned scenario and demands
+// identical traces — the schedule and the injector RNG must be fully
+// reproducible regardless of host or worker.
+func TestFaultGoldenDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	pa := faultGoldenParams()
+	pa.Trace = &a
+	Run(pa)
+	pb := faultGoldenParams()
+	pb.Trace = &b
+	Run(pb)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("faulty runs diverged: %d vs %d trace bytes", a.Len(), b.Len())
+	}
+}
+
+// TestFaultFreePlanIsByteIdentical pins the tentpole's no-perturbation
+// contract directly: attaching a nil or empty plan leaves the trace
+// byte-identical to a run with no fault wiring at all.
+func TestFaultFreePlanIsByteIdentical(t *testing.T) {
+	var plain, empty bytes.Buffer
+	p1 := goldenParams()
+	p1.Trace = &plain
+	Run(p1)
+
+	p2 := goldenParams()
+	p2.Faults = &faults.Plan{Name: "empty"}
+	p2.Trace = &empty
+	Run(p2)
+
+	if !bytes.Equal(plain.Bytes(), empty.Bytes()) {
+		t.Fatalf("empty fault plan perturbed the run: %d vs %d trace bytes",
+			plain.Len(), empty.Len())
+	}
+}
+
+// TestRecallFloorDF is the CI recall gate: on the pinned 5%-loss scenario,
+// depth-first forwarding with the retry policy must keep mean recall at or
+// above 0.9.
+func TestRecallFloorDF(t *testing.T) {
+	p := DefaultParams()
+	p.Grid = 3
+	p.GlobalN = 3000
+	p.Strategy = DepthFirst
+	p.SimTime = 3600
+	p.MinQueries, p.MaxQueries = 1, 1
+	p.Static = true
+	p.Radio.Range = 2000
+	p.Radio.Loss = 0.05
+	p.QueryRetries = 3
+	p.RetryBackoff = 10
+	p.RetryBackoffMax = 60
+	p.Recall = true
+	p.Seed = 21
+	out := Run(p)
+	r, ok := out.MeanRecall()
+	if !ok {
+		t.Fatalf("recall not computed")
+	}
+	t.Logf("DF at 5%% loss: mean recall %.3f over %d queries (completion %.0f%%)",
+		r, len(out.Queries), out.CompletionRate()*100)
+	if r < 0.9 {
+		t.Errorf("mean recall %.3f below the 0.9 floor", r)
+	}
+}

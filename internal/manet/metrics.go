@@ -18,9 +18,16 @@ type simMetrics struct {
 	QueryMessages *telemetry.Counter
 	// Transfers counts §7 relation hand-offs.
 	Transfers *telemetry.Counter
+	// QueryRetries counts originator re-issues under the retry policy;
+	// QueriesPartial counts queries finalized by their deadline.
+	QueryRetries   *telemetry.Counter
+	QueriesPartial *telemetry.Counter
 	// ResponseTime observes completed queries' response times in
 	// simulated seconds (the Figure 8 metric).
 	ResponseTime *telemetry.Histogram
+	// Recall observes per-query recall against the centralized oracle when
+	// Params.Recall is enabled.
+	Recall *telemetry.Histogram
 }
 
 // responseTimeBuckets spans the simulator's observed range: sub-second DF
@@ -37,7 +44,12 @@ func newSimMetrics(r *telemetry.Registry) simMetrics {
 		QueriesCompleted: r.Counter("manet_queries_completed_total", "queries that reached their completion condition"),
 		QueryMessages:    r.Counter("manet_query_messages_total", "hop-level protocol transmissions attributed to queries"),
 		Transfers:        r.Counter("manet_transfers_total", "relation hand-offs between devices"),
+		QueryRetries:     r.Counter("manet_query_retries_total", "originator query re-issues under the retry policy"),
+		QueriesPartial:   r.Counter("manet_queries_partial_total", "queries finalized by their deadline with partial results"),
 		ResponseTime: r.Histogram("manet_response_time_seconds",
 			"completed query response times in simulated seconds", responseTimeBuckets()),
+		Recall: r.Histogram("manet_query_recall",
+			"per-query recall against the centralized constrained-skyline oracle",
+			[]float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1}),
 	}
 }

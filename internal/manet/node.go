@@ -30,8 +30,10 @@ type node struct {
 
 // bfOrigState is the originator's collection state for one BF query.
 type bfOrigState struct {
-	merged []tuple.Tuple
-	quorum int
+	q        core.Query
+	merged   []tuple.Tuple
+	quorum   int
+	attempts int
 }
 
 // dfState is a device's per-query state under depth-first forwarding.
@@ -47,6 +49,10 @@ type dfState struct {
 	waitingChild radio.NodeID // -1 when none
 	gen          int          // invalidates stale timers
 	done         bool
+
+	attempts     int
+	retryPending bool // a traversal restart is scheduled (gen changes during
+	// the resumed walk, so a generation guard cannot protect the retry timer)
 }
 
 // maybeIssue fires at a scheduled issue time; a device with a query in
@@ -57,11 +63,21 @@ func (n *node) maybeIssue() {
 		n.sc.met.QueriesSkipped.Inc()
 		return
 	}
+	// A crashed or paused device cannot originate.
+	if n.sc.inj != nil && n.sc.inj.NodeDown(n.id, n.sc.eng.Now()) {
+		n.sc.skipped++
+		n.sc.met.QueriesSkipped.Inc()
+		return
+	}
 	n.busy = true
 	pos := n.sc.med.PosOf(n.id)
 	q, res := n.dev.Originate(pos, n.sc.p.QueryDist)
 	n.sc.newMetrics(q)
 	n.sc.met.QueriesIssued.Inc()
+	if d := n.sc.p.QueryDeadline; d > 0 {
+		key := q.Key()
+		n.sc.eng.Schedule(d, func() { n.deadlineExpire(key) })
+	}
 	n.sc.spans.Begin(spanKey(q.Key()), n.sc.eng.Now())
 	n.sc.trace(TraceEvent{Event: "issue", Device: n.dev.ID, Org: q.Org, Cnt: q.Cnt})
 	// Local processing consumes simulated device time before anything is
@@ -87,13 +103,50 @@ func (n *node) finishQuery(key core.QueryKey, merged []tuple.Tuple) {
 	m.ResultTuples = len(merged)
 	n.sc.met.QueriesCompleted.Inc()
 	n.sc.met.ResponseTime.Observe(m.ResponseTime)
+	if m.Partial {
+		n.sc.spans.MarkPartial(spanKey(key))
+	}
 	n.sc.spans.Complete(spanKey(key), n.sc.eng.Now(), len(merged))
 	n.sc.trace(TraceEvent{Event: "complete", Device: n.dev.ID,
-		Org: key.Org, Cnt: key.Cnt, Tuples: len(merged)})
+		Org: key.Org, Cnt: key.Cnt, Tuples: len(merged), Partial: m.Partial})
 	if n.sc.p.KeepSkylines {
 		m.Skyline = append([]tuple.Tuple(nil), merged...)
 	}
 	n.busy = false
+}
+
+// deadlineExpire finalizes a still-open query when its deadline fires: the
+// originator keeps whatever it merged so far and the result is flagged
+// partial. Queries that already completed are untouched.
+func (n *node) deadlineExpire(key core.QueryKey) {
+	m := n.sc.metrics[key]
+	if m == nil || m.Done {
+		return
+	}
+	m.Partial = true
+	n.sc.met.QueriesPartial.Inc()
+	var merged []tuple.Tuple
+	if st := n.bf[key]; st != nil {
+		merged = st.merged
+	} else if st := n.df[key]; st != nil {
+		merged = st.merged
+		st.done = true
+		st.gen++ // invalidate ack/subtree timers of the abandoned traversal
+	}
+	n.finishQuery(key, merged)
+}
+
+// recordRetry accounts one originator re-issue across the metric surfaces.
+func (n *node) recordRetry(key core.QueryKey, attempt int) {
+	if m := n.sc.metrics[key]; m != nil {
+		m.Retries = attempt
+	}
+	n.sc.met.QueryRetries.Inc()
+	n.sc.trace(TraceEvent{Event: "retry", Device: n.dev.ID,
+		Org: key.Org, Cnt: key.Cnt})
+	n.sc.spans.Observe(spanKey(key), telemetry.Stage{
+		T: n.sc.eng.Now(), Kind: telemetry.StageRetry, Device: int32(n.dev.ID),
+	})
 }
 
 // --- breadth-first ----------------------------------------------------------
@@ -102,13 +155,38 @@ func (n *node) bfStart(q core.Query, res localsky.Result) {
 	if n.bf == nil {
 		n.bf = make(map[core.QueryKey]*bfOrigState)
 	}
-	st := &bfOrigState{merged: res.Skyline, quorum: n.sc.quorum()}
+	st := &bfOrigState{q: q, merged: res.Skyline, quorum: n.sc.quorum()}
 	n.bf[q.Key()] = st
+	if qm := n.sc.metrics[q.Key()]; qm != nil && qm.Done {
+		return // the deadline fired during local processing
+	}
 	if st.quorum == 0 {
 		n.finishQuery(q.Key(), st.merged)
 		return
 	}
 	n.sc.countQueryMessages(q.Key(), n.sc.net.BroadcastLocal(n.id, &queryMsg{Q: q, Hops: 1}))
+	n.bfScheduleRetry(q.Key(), st)
+}
+
+// bfScheduleRetry arms the next re-flood under the retry policy: if the
+// query is still open when the backoff elapses, the originator floods the
+// query again. Devices that saw the first flood ignore the repeat (QueryLog
+// dedup), so a re-flood only reaches devices the original missed.
+func (n *node) bfScheduleRetry(key core.QueryKey, st *bfOrigState) {
+	if st.attempts >= n.sc.p.QueryRetries {
+		return
+	}
+	n.sc.eng.Schedule(n.sc.p.retryDelay(st.attempts), func() {
+		qm := n.sc.metrics[key]
+		if qm == nil || qm.Done {
+			return
+		}
+		st.attempts++
+		n.recordRetry(key, st.attempts)
+		n.sc.countQueryMessages(key,
+			n.sc.net.BroadcastLocal(n.id, &queryMsg{Q: st.q, Hops: 1}))
+		n.bfScheduleRetry(key, st)
+	})
 }
 
 // bfHandleQuery runs a first-time receiver's side of the flood.
@@ -203,6 +281,10 @@ func (n *node) dfStart(q core.Query, res localsky.Result) {
 		waitingChild: -1,
 	}
 	n.putDF(q.Key(), st)
+	if qm := n.sc.metrics[q.Key()]; qm != nil && qm.Done {
+		st.done = true // the deadline fired during local processing
+		return
+	}
 	n.dfTryNext(st)
 }
 
@@ -249,14 +331,40 @@ func (n *node) dfTryNext(st *dfState) {
 }
 
 // dfFinish returns the merged result up the reverse path (or completes the
-// query at the originator).
+// query at the originator). An originator with retry budget left restarts
+// the traversal instead of completing: mobility and recovered nodes may have
+// changed the reachable neighbourhood since the exhausted walk began.
 func (n *node) dfFinish(st *dfState) {
-	st.done = true
 	key := st.q.Key()
 	if st.parent < 0 {
+		qm := n.sc.metrics[key]
+		if qm != nil && !qm.Done && st.attempts < n.sc.p.QueryRetries && !st.retryPending {
+			st.attempts++
+			st.retryPending = true
+			n.sc.eng.Schedule(n.sc.p.retryDelay(st.attempts-1), func() {
+				if st.done || !st.retryPending {
+					return
+				}
+				st.retryPending = false
+				if m := n.sc.metrics[key]; m == nil || m.Done {
+					return
+				}
+				n.recordRetry(key, st.attempts)
+				clear(st.tried)
+				n.dfTryNext(st)
+			})
+			return
+		}
+		if st.retryPending {
+			// A straggler result re-entered the walk while a restart is
+			// scheduled; let the restart decide.
+			return
+		}
+		st.done = true
 		n.finishQuery(key, st.merged)
 		return
 	}
+	st.done = true
 	n.sc.net.Send(n.id, st.parent, &dfResultMsg{
 		Key: key, Tuples: st.merged, Filter: st.flt, FilterVDR: st.fltVDR,
 	})

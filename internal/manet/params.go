@@ -15,6 +15,7 @@ import (
 	"manetskyline/internal/aodv"
 	"manetskyline/internal/core"
 	"manetskyline/internal/device"
+	"manetskyline/internal/faults"
 	"manetskyline/internal/gen"
 	"manetskyline/internal/mobility"
 	"manetskyline/internal/radio"
@@ -94,6 +95,35 @@ type Params struct {
 	// subtree result before giving up on it.
 	SubtreeTimeout float64
 
+	// QueryRetries enables graceful degradation under loss: an originator
+	// whose query has not completed re-issues it up to this many times (BF
+	// re-floods the query; DF restarts the traversal over the untried
+	// neighbourhood), with capped exponential backoff. 0 disables retries —
+	// the paper's fire-and-forget behaviour.
+	QueryRetries int
+	// RetryBackoff is the delay before the first re-issue; each further
+	// attempt doubles it up to RetryBackoffMax.
+	RetryBackoff float64
+	// RetryBackoffMax caps the exponential backoff (0 ⇒ uncapped).
+	RetryBackoffMax float64
+	// QueryDeadline, when positive, finalizes any still-open query that
+	// many simulated seconds after issue: the originator keeps whatever it
+	// merged so far and the query is flagged Partial. 0 keeps queries open
+	// until their normal completion condition (or simulation end).
+	QueryDeadline float64
+
+	// Faults attaches a scripted fault schedule (internal/faults) to the
+	// run: timed link/region loss, node outage churn, partitions, and frame
+	// duplication/reordering, all injected deterministically. nil (or an
+	// empty plan) leaves the run byte-identical to a fault-free one.
+	Faults *faults.Plan
+	// Recall enables the centralized-oracle accounting layer: after the
+	// run, every query's result is compared against the constrained skyline
+	// of the union of all device relations, and per-query recall/precision
+	// land in QueryMetrics, Outcome aggregates, and telemetry spans.
+	// Implies KeepSkylines.
+	Recall bool
+
 	// Radio, Mobility, Aodv, and Cost configure the substrates.
 	Radio    radio.Config
 	Mobility mobility.Config
@@ -161,6 +191,11 @@ func DefaultParams() Params {
 		AckTimeout:     5,
 		SubtreeTimeout: 300,
 
+		// Retry/deadline defaults are tuned but disabled (QueryRetries=0,
+		// QueryDeadline=0) so default runs match the paper's protocol.
+		RetryBackoff:    15,
+		RetryBackoffMax: 120,
+
 		Radio:    radio.DefaultConfig(),
 		Mobility: mobility.DefaultConfig(),
 		Aodv:     aodv.DefaultConfig(),
@@ -194,6 +229,18 @@ func (p Params) Validate() error {
 	if p.AckTimeout <= 0 || p.SubtreeTimeout <= 0 {
 		return fmt.Errorf("manet: non-positive DF timeouts")
 	}
+	if p.QueryRetries < 0 {
+		return fmt.Errorf("manet: negative query retries %d", p.QueryRetries)
+	}
+	if p.QueryRetries > 0 && p.RetryBackoff <= 0 {
+		return fmt.Errorf("manet: retries enabled with non-positive backoff %g", p.RetryBackoff)
+	}
+	if p.QueryDeadline < 0 {
+		return fmt.Errorf("manet: negative query deadline %g", p.QueryDeadline)
+	}
+	if err := p.Faults.Validate(p.NumDevices()); err != nil {
+		return err
+	}
 	if err := p.Radio.Validate(); err != nil {
 		return err
 	}
@@ -213,3 +260,16 @@ func (p Params) Validate() error {
 
 // NumDevices returns m = Grid².
 func (p Params) NumDevices() int { return p.Grid * p.Grid }
+
+// retryDelay is the capped exponential backoff before re-issue number
+// attempt+1 (attempt is 0-based).
+func (p Params) retryDelay(attempt int) float64 {
+	d := p.RetryBackoff
+	for i := 0; i < attempt && (p.RetryBackoffMax <= 0 || d < p.RetryBackoffMax); i++ {
+		d *= 2
+	}
+	if p.RetryBackoffMax > 0 && d > p.RetryBackoffMax {
+		d = p.RetryBackoffMax
+	}
+	return d
+}

@@ -1,0 +1,118 @@
+package manet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"manetskyline/internal/core"
+	"manetskyline/internal/gen"
+	"manetskyline/internal/skyline"
+)
+
+// sweepCombo is one protocol configuration of the equivalence sweep.
+type sweepCombo struct {
+	mode     core.Estimation
+	strategy Forwarding
+	dynamic  bool
+}
+
+// sweepCombos enumerates every estimation mode × forwarding strategy ×
+// filter strategy (static vs dynamic filter) combination.
+func sweepCombos() []sweepCombo {
+	var out []sweepCombo
+	for _, mode := range []core.Estimation{core.Exact, core.Over, core.Under} {
+		for _, strategy := range []Forwarding{BreadthFirst, DepthFirst} {
+			for _, dynamic := range []bool{false, true} {
+				out = append(out, sweepCombo{mode, strategy, dynamic})
+			}
+		}
+	}
+	return out
+}
+
+// TestQuickDistributedEqualsCentralizedSweep extends the fixed-seed
+// equivalence test into a randomized property: on arbitrary small static
+// fully-connected scenarios, every completed query's distributed result must
+// equal the centralized constrained skyline under every estimation mode,
+// both forwarding strategies, and both filter strategies.
+func TestQuickDistributedEqualsCentralizedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized scenario sweep is not short")
+	}
+	combos := sweepCombos()
+	f := func(seed uint16, nRaw uint16, overlapRaw, distRaw uint8) bool {
+		for _, c := range combos {
+			p := DefaultParams()
+			p.Grid = 3
+			p.GlobalN = 300 + int(nRaw%1200)
+			p.Dist = gen.Distribution(distRaw % 3)
+			p.Overlap = float64(overlapRaw%5) / 10 // 0..0.4
+			p.Mode = c.mode
+			p.Dynamic = c.dynamic
+			p.Strategy = c.strategy
+			p.SimTime = 3600
+			p.MinQueries, p.MaxQueries = 1, 1
+			p.BFQuorum = 1.0
+			p.Static = true
+			p.KeepSkylines = true
+			p.Radio.Range = 2000
+			p.Seed = int64(seed) + 1
+			out := Run(p)
+			checked := 0
+			for _, q := range out.Queries {
+				if !q.Done {
+					continue
+				}
+				checked++
+				orgStart := gen.CellRect(int(q.Org)/p.Grid, int(q.Org)%p.Grid, p.Grid, p.Space).Center()
+				want := groundTruth(out, q, orgStart, p.QueryDist)
+				if !skyline.SetEqual(q.Skyline, want) {
+					t.Logf("%v/%v/dynamic=%v seed=%d: query %v got %d tuples, centralized %d",
+						c.strategy, c.mode, c.dynamic, seed, q.Key, len(q.Skyline), len(want))
+					return false
+				}
+			}
+			if checked == 0 {
+				t.Logf("%v/%v/dynamic=%v seed=%d: no queries completed", c.strategy, c.mode, c.dynamic, seed)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 5, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRecallOracleSelfConsistent checks the recall accounting layer on
+// loss-free runs: when nothing can be lost, the oracle must agree with the
+// protocol — recall and precision are exactly 1 for completed queries.
+func TestQuickRecallOracleSelfConsistent(t *testing.T) {
+	f := func(seed uint16) bool {
+		p := smallParams(BreadthFirst)
+		p.BFQuorum = 1.0
+		p.Recall = true
+		p.Seed = int64(seed) + 1
+		out := Run(p)
+		if !out.RecallComputed {
+			return false
+		}
+		for _, q := range out.Queries {
+			if !q.Done || q.Partial {
+				continue
+			}
+			if q.Recall != 1 || q.Precision != 1 {
+				t.Logf("seed=%d query %v: recall=%v precision=%v (truth %d, result %d)",
+					seed, q.Key, q.Recall, q.Precision, q.TruthTuples, q.ResultTuples)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 8, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

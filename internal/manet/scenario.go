@@ -7,10 +7,12 @@ import (
 
 	"manetskyline/internal/aodv"
 	"manetskyline/internal/core"
+	"manetskyline/internal/faults"
 	"manetskyline/internal/gen"
 	"manetskyline/internal/mobility"
 	"manetskyline/internal/radio"
 	"manetskyline/internal/sim"
+	"manetskyline/internal/skyline"
 	"manetskyline/internal/telemetry"
 	"manetskyline/internal/tuple"
 )
@@ -44,6 +46,17 @@ type QueryMetrics struct {
 	ResultTuples int
 	// Skyline is the final merged result (only with Params.KeepSkylines).
 	Skyline []tuple.Tuple
+	// Partial marks a query finalized by Params.QueryDeadline before its
+	// normal completion condition.
+	Partial bool
+	// Retries counts originator re-issues under the retry policy.
+	Retries int
+	// Recall and Precision compare the query's result against the
+	// centralized constrained skyline of the union of all device relations;
+	// TruthTuples is that oracle's size. Set only with Params.Recall.
+	Recall      float64
+	Precision   float64
+	TruthTuples int
 }
 
 // DRR is the query's data reduction rate.
@@ -69,6 +82,12 @@ type Outcome struct {
 	DeviceTuples [][]tuple.Tuple
 	// Spans holds per-query timelines when Params.Spans was set.
 	Spans []*telemetry.Span
+	// Faults holds the injector's drop/duplication tallies when a fault
+	// plan was attached.
+	Faults faults.Stats
+	// RecallComputed reports that Params.Recall populated the per-query
+	// Recall/Precision fields.
+	RecallComputed bool
 }
 
 // PooledDRR evaluates Formula 1 over all queries' pooled sums.
@@ -122,6 +141,30 @@ func (o *Outcome) CompletionRate() float64 {
 	return float64(done) / float64(len(o.Queries))
 }
 
+// MeanRecall averages per-query recall against the centralized oracle; ok
+// is false when recall was not computed or no queries were issued.
+func (o *Outcome) MeanRecall() (mean float64, ok bool) {
+	if !o.RecallComputed || len(o.Queries) == 0 {
+		return 0, false
+	}
+	for _, q := range o.Queries {
+		mean += q.Recall
+	}
+	return mean / float64(len(o.Queries)), true
+}
+
+// MeanPrecision averages per-query precision against the centralized
+// oracle; ok is false when recall accounting was off or no queries ran.
+func (o *Outcome) MeanPrecision() (mean float64, ok bool) {
+	if !o.RecallComputed || len(o.Queries) == 0 {
+		return 0, false
+	}
+	for _, q := range o.Queries {
+		mean += q.Precision
+	}
+	return mean / float64(len(o.Queries)), true
+}
+
 // scenario wires the substrates together for one run.
 type scenario struct {
 	p       Params
@@ -133,6 +176,7 @@ type scenario struct {
 	order   []core.QueryKey
 	skipped int
 	redist  redistributionState
+	inj     *faults.Injector
 
 	traceEnc *json.Encoder
 	met      simMetrics
@@ -148,6 +192,9 @@ func spanKey(k core.QueryKey) telemetry.SpanKey {
 func Run(p Params) *Outcome {
 	if err := p.Validate(); err != nil {
 		panic(err)
+	}
+	if p.Recall {
+		p.KeepSkylines = true
 	}
 	sc := build(p)
 	sc.eng.Run(p.SimTime)
@@ -166,6 +213,12 @@ func Run(p Params) *Outcome {
 		out.DeviceTuples = append(out.DeviceTuples, n.tuples)
 	}
 	out.Spans = sc.spans.Spans()
+	if sc.inj != nil {
+		out.Faults = sc.inj.Stats
+	}
+	if p.Recall {
+		sc.computeRecall(out)
+	}
 	return out
 }
 
@@ -183,6 +236,17 @@ func build(p Params) *scenario {
 		spans:   p.Spans,
 	}
 	sc.initTrace(p.Trace)
+	// Fault schedule: the injector draws from its own RNG and every hook is
+	// gated on its presence, so fault-free runs stay byte-identical.
+	if p.Faults != nil && !p.Faults.Empty() {
+		inj := faults.NewInjector(p.Faults, p.Seed)
+		med.SetFaults(inj)
+		sc.inj = inj
+		inj.Schedule(eng, func(ev faults.Event) {
+			sc.trace(TraceEvent{Event: "fault", Fault: ev.Kind,
+				Device: core.DeviceID(ev.Node)})
+		})
+	}
 	// Live telemetry: attach every layer's surface to the shared registry.
 	// Instrumentation only reads simulation state — it never draws from the
 	// RNG or alters message sizes — so instrumented runs stay bit-identical.
@@ -320,4 +384,61 @@ type processOutcome struct {
 	unreduced  int
 	filters    int
 	skippedMBR bool
+}
+
+// computeRecall runs the centralized oracle after the simulation: for every
+// query, the constrained skyline of the (deduplicated) union of all device
+// relations is the ground truth, and the query's merged result is scored
+// against it. A distributed result tuple matches a truth tuple when they
+// describe the same site with identical attributes; recall is the matched
+// fraction of the truth and precision the matched fraction of the result.
+// Partitioning overlap duplicates tuples across devices, so the union is
+// deduplicated by site before the oracle runs.
+func (sc *scenario) computeRecall(out *Outcome) {
+	type site [2]float64
+	seen := make(map[site]bool)
+	var union []tuple.Tuple
+	for _, part := range out.DeviceTuples {
+		for _, t := range part {
+			s := site{t.X, t.Y}
+			if !seen[s] {
+				seen[s] = true
+				union = append(union, t)
+			}
+		}
+	}
+	for _, qm := range out.Queries {
+		truth := skyline.Constrained(union, qm.Pos, qm.D)
+		qm.TruthTuples = len(truth)
+		bysite := make(map[site]tuple.Tuple, len(truth))
+		for _, t := range truth {
+			bysite[site{t.X, t.Y}] = t
+		}
+		matched := 0
+		for _, t := range qm.Skyline {
+			if u, ok := bysite[site{t.X, t.Y}]; ok && u.Equal(t) {
+				matched++
+			}
+		}
+		if len(truth) == 0 {
+			qm.Recall = 1
+		} else {
+			qm.Recall = float64(matched) / float64(len(truth))
+		}
+		if len(qm.Skyline) == 0 {
+			qm.Precision = 1
+		} else {
+			qm.Precision = float64(matched) / float64(len(qm.Skyline))
+		}
+		sc.met.Recall.Observe(qm.Recall)
+	}
+	// Annotate spans so per-query timelines carry their oracle score.
+	for _, sp := range out.Spans {
+		k := core.QueryKey{Org: core.DeviceID(sp.Org), Cnt: uint8(sp.Cnt)}
+		if qm := sc.metrics[k]; qm != nil {
+			r := qm.Recall
+			sp.Recall = &r
+		}
+	}
+	out.RecallComputed = true
 }

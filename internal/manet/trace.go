@@ -20,7 +20,7 @@ type TraceEvent struct {
 	// T is the simulated time in seconds.
 	T float64 `json:"t"`
 	// Event is the event type: "issue", "process", "filter-update",
-	// "result", "complete", "transfer".
+	// "result", "retry", "complete", "transfer", "fault".
 	Event string `json:"event"`
 	// Device is the device the event happened on.
 	Device core.DeviceID `json:"device"`
@@ -37,6 +37,12 @@ type TraceEvent struct {
 	// To is the receiving device of a transfer (nil otherwise; a pointer
 	// so a hand-off to device 0 still serializes).
 	To *core.DeviceID `json:"to,omitempty"`
+	// Partial marks a complete event forced by the query deadline before
+	// the normal completion condition was met.
+	Partial bool `json:"partial,omitempty"`
+	// Fault names the schedule boundary of a fault event, e.g.
+	// "outage-start" or "partition-end" (see faults.Event).
+	Fault string `json:"fault,omitempty"`
 }
 
 // trace emits one event when tracing is enabled. Encoding errors disable

@@ -21,6 +21,8 @@ type Metrics struct {
 	Deliveries *telemetry.Counter
 	DropsRange *telemetry.Counter
 	DropsLoss  *telemetry.Counter
+	// DropsFault counts frames removed by an attached fault injector.
+	DropsFault *telemetry.Counter
 	// NeighborQueries and NeighborScanned expose the spatial-grid query
 	// cost: probes issued and candidate nodes distance-checked.
 	NeighborQueries *telemetry.Counter
@@ -37,6 +39,7 @@ func NewMetrics(r *telemetry.Registry) Metrics {
 		Deliveries:      r.Counter("radio_deliveries_total", "frames successfully delivered to a receiver"),
 		DropsRange:      r.Counter("radio_drops_range_total", "frames lost to range/fading at delivery time"),
 		DropsLoss:       r.Counter("radio_drops_loss_total", "frames lost to the independent loss process"),
+		DropsFault:      r.Counter("radio_drops_fault_total", "frames removed by the fault injector"),
 		NeighborQueries: r.Counter("radio_neighbor_queries_total", "neighbor-set probes against the spatial grid"),
 		NeighborScanned: r.Counter("radio_neighbor_scanned_total", "candidate nodes distance-checked by neighbor probes"),
 	}

@@ -40,6 +40,25 @@ type Payload interface {
 // Handler receives delivered frames.
 type Handler func(from NodeID, p Payload)
 
+// FaultInjector is the hook surface for scripted fault schedules
+// (internal/faults). Implementations must be deterministic functions of
+// their own seeded state: they are consulted on the transmit and delivery
+// paths but must never draw from the medium's random source, so a medium
+// without an injector runs byte-identically to one with a nil injector.
+type FaultInjector interface {
+	// NodeDown reports whether the node is silenced (crashed or paused) at
+	// time now: it neither transmits nor receives.
+	NodeDown(id NodeID, now float64) bool
+	// CutLink decides at delivery time whether the frame from → to is
+	// removed by the schedule (downed receiver, link/region loss windows,
+	// partitions).
+	CutLink(from, to NodeID, now float64, fromPos, toPos tuple.Point) bool
+	// TxEffects perturbs one transmission: extraDelay postpones the nominal
+	// delivery and each dupDelays entry schedules one duplicate copy that
+	// many seconds after it. The slice may be reused across calls.
+	TxEffects(from NodeID, now float64) (extraDelay float64, dupDelays []float64)
+}
+
 // Config parameterizes the medium.
 type Config struct {
 	// Range is the transmission radius in meters (802.11b outdoors ≈ 250).
@@ -109,6 +128,11 @@ type Counters struct {
 	DroppedRange int
 	// DroppedLoss counts frames lost to the random loss process.
 	DroppedLoss int
+	// DroppedFault counts frames removed by an attached fault injector
+	// (outages, severed links, partitions).
+	DroppedFault int
+	// DupedFrames counts duplicate deliveries a fault injector scheduled.
+	DupedFrames int
 	// BytesSent counts transmitted bytes including headers.
 	BytesSent int
 }
@@ -143,6 +167,9 @@ type Medium struct {
 
 	// met is the optional telemetry surface (zero value = disabled).
 	met Metrics
+
+	// faults is the optional fault injector (nil = fault-free medium).
+	faults FaultInjector
 }
 
 type node struct {
@@ -391,6 +418,30 @@ func (m *Medium) getDelivery() *delivery {
 	return &delivery{m: m}
 }
 
+// SetFaults attaches a fault injector to the medium; nil detaches it. The
+// injector is consulted only when non-nil, so the fault-free fast path is
+// untouched.
+func (m *Medium) SetFaults(f FaultInjector) { m.faults = f }
+
+// scheduleDelivery queues d at its nominal delivery time, applying any
+// fault-injected reordering delay and duplicate copies first.
+func (m *Medium) scheduleDelivery(d *delivery, nominal float64) {
+	at := nominal
+	if m.faults != nil {
+		extra, dups := m.faults.TxEffects(d.from, m.eng.Now())
+		at += extra
+		for _, dd := range dups {
+			c := m.getDelivery()
+			c.from = d.from
+			c.to = append(c.to[:0], d.to...)
+			c.p = d.p
+			m.Counters.DupedFrames++
+			m.eng.AtRunner(at+dd, c)
+		}
+	}
+	m.eng.AtRunner(at, d)
+}
+
 // Unicast queues one frame from -> to. It returns false without
 // transmitting when the receiver is out of range at send time — the
 // immediate link-break feedback AODV relies on. Delivery happens after
@@ -399,6 +450,9 @@ func (m *Medium) getDelivery() *delivery {
 func (m *Medium) Unicast(from, to NodeID, p Payload) bool {
 	if from == to {
 		panic("radio: self-addressed frame")
+	}
+	if m.faults != nil && m.faults.NodeDown(from, m.eng.Now()) {
+		return false
 	}
 	if !m.InRange(from, to) {
 		return false
@@ -414,13 +468,19 @@ func (m *Medium) Unicast(from, to NodeID, p Payload) bool {
 	d.from = from
 	d.to = append(d.to[:0], to)
 	d.p = p
-	m.eng.AtRunner(start+airtime+m.cfg.Overhead, d)
+	m.scheduleDelivery(d, start+airtime+m.cfg.Overhead)
 	return true
 }
 
 // received decides, at delivery time, whether a frame from → to arrives:
 // hard range cut, then edge fading, then the independent loss process.
 func (m *Medium) received(from, to NodeID) bool {
+	if m.faults != nil &&
+		m.faults.CutLink(from, to, m.eng.Now(), m.PosOf(from), m.PosOf(to)) {
+		m.Counters.DroppedFault++
+		m.met.DropsFault.Inc()
+		return false
+	}
 	d := m.PosOf(from).Dist(m.PosOf(to))
 	if d > m.cfg.Range {
 		m.Counters.DroppedRange++
@@ -452,6 +512,9 @@ func (m *Medium) received(from, to NodeID) bool {
 // suffers range and loss drops at delivery time. All receivers share one
 // delivery event that walks the captured neighbor list in ID order.
 func (m *Medium) Broadcast(from NodeID, p Payload) int {
+	if m.faults != nil && m.faults.NodeDown(from, m.eng.Now()) {
+		return 0
+	}
 	d := m.getDelivery()
 	d.to = m.NeighborsInto(from, d.to)
 	src := &m.nodes[from]
@@ -467,7 +530,7 @@ func (m *Medium) Broadcast(from NodeID, p Payload) int {
 	}
 	d.from = from
 	d.p = p
-	m.eng.AtRunner(start+airtime+m.cfg.Overhead, d)
+	m.scheduleDelivery(d, start+airtime+m.cfg.Overhead)
 	return len(d.to)
 }
 

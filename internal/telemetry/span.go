@@ -20,6 +20,7 @@ const (
 	StageProcess      = "process"
 	StageFilterUpdate = "filter-update"
 	StageResult       = "result"
+	StageRetry        = "retry"
 	StageComplete     = "complete"
 )
 
@@ -71,6 +72,14 @@ type Span struct {
 	FilterUpdates int `json:"filter_updates"`
 	// ResultTuples is the final merged skyline size (when Done).
 	ResultTuples int `json:"result_tuples"`
+	// Retries counts originator re-issues under the retry/backoff policy.
+	Retries int `json:"retries,omitempty"`
+	// Partial marks a query finalized by its deadline before the normal
+	// completion condition was met.
+	Partial bool `json:"partial,omitempty"`
+	// Recall, when set, is the post-run recall of the query's result
+	// against the centralized constrained-skyline oracle.
+	Recall *float64 `json:"recall,omitempty"`
 }
 
 // Duration is End-Start for completed spans, 0 otherwise.
@@ -133,9 +142,24 @@ func (l *SpanLog) Observe(k SpanKey, st Stage) {
 		sp.Results++
 	case StageFilterUpdate:
 		sp.FilterUpdates++
+	case StageRetry:
+		sp.Retries++
 	}
 	if st.Hops > sp.MaxHops {
 		sp.MaxHops = st.Hops
+	}
+}
+
+// MarkPartial flags an open span as deadline-finalized; call before
+// Complete.
+func (l *SpanLog) MarkPartial(k SpanKey) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if sp := l.spans[k]; sp != nil {
+		sp.Partial = true
 	}
 }
 

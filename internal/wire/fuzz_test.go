@@ -1,11 +1,78 @@
 package wire
 
 import (
+	"bytes"
 	"testing"
 
 	"manetskyline/internal/core"
 	"manetskyline/internal/tuple"
 )
+
+// fuzzTuples decodes a compact byte script into a bag of tuples: the first
+// byte picks the dimensionality, the rest become coarse attribute values.
+// Coarse domains and shared bytes force ties and duplicates.
+func fuzzTuples(raw []byte) []tuple.Tuple {
+	if len(raw) == 0 {
+		return nil
+	}
+	dim := 1 + int(raw[0]%4)
+	raw = raw[1:]
+	var ts []tuple.Tuple
+	for len(raw) >= dim && len(ts) < 32 {
+		attrs := make([]float64, dim)
+		for i := range attrs {
+			attrs[i] = float64(raw[i] % 32)
+		}
+		ts = append(ts, tuple.Tuple{
+			X: float64(len(ts)), Y: float64(len(ts) % 5), Attrs: attrs,
+		})
+		raw = raw[dim:]
+	}
+	return ts
+}
+
+// FuzzWireRoundTrip drives the encoders from arbitrary structured inputs:
+// every message the system can construct must encode, decode without error,
+// and re-encode to the identical bytes. This is the complement of the
+// decode-side fuzzers below, which start from arbitrary bytes.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(int32(1), uint8(2), 100.0, 200.0, 250.0, false, 0.0, []byte{}, int32(3))
+	f.Add(int32(7), uint8(0), 0.0, 0.0, -1.0, true, 980.5, []byte{2, 1, 2, 3, 4}, int32(0))
+	f.Add(int32(-5), uint8(255), 1e18, -1e18, 0.0, true, -3.0, []byte{4, 9, 9, 9, 9, 1, 1, 1, 1}, int32(88))
+	f.Fuzz(func(t *testing.T, org int32, cnt uint8, x, y, d float64,
+		hasFilter bool, vdr float64, raw []byte, from int32) {
+		ts := fuzzTuples(raw)
+		q := core.Query{
+			Org: core.DeviceID(org), Cnt: cnt,
+			Pos: tuple.Point{X: x, Y: y}, D: d,
+		}
+		if hasFilter && len(ts) > 0 {
+			q.Filter = &ts[0]
+			q.FilterVDR = vdr
+			q.Extra = ts[1:]
+		}
+		enc := EncodeQuery(q)
+		dec, err := DecodeQuery(enc)
+		if err != nil {
+			t.Fatalf("decode of encoded query failed: %v", err)
+		}
+		if re := EncodeQuery(dec); !bytes.Equal(re, enc) {
+			t.Fatalf("query round trip not stable:\n in: %x\nout: %x", enc, re)
+		}
+		r := Result{Key: q.Key(), From: core.DeviceID(from), Tuples: ts}
+		encR := EncodeResult(r)
+		decR, err := DecodeResult(encR)
+		if err != nil {
+			t.Fatalf("decode of encoded result failed: %v", err)
+		}
+		if re := EncodeResult(decR); !bytes.Equal(re, encR) {
+			t.Fatalf("result round trip not stable:\n in: %x\nout: %x", encR, re)
+		}
+		if len(decR.Tuples) != len(ts) {
+			t.Fatalf("result round trip changed cardinality: %d vs %d", len(decR.Tuples), len(ts))
+		}
+	})
+}
 
 // FuzzDecodeQuery exercises the decoder with arbitrary bytes: it must never
 // panic, and everything it accepts must re-encode to the same bytes
