@@ -13,6 +13,10 @@
 // Data files are CSV (skygen) or the binary dataset format (skygen
 // -format bin), selected by extension.
 //
+// With -lease TTL a peer registers under a directory lease it keeps alive
+// by heartbeat; if the process crashes, the lease decays and the other
+// peers prune it from their flood fan-out instead of black-holing frames.
+//
 // Any mode accepts -http ADDR to serve live telemetry: /metrics
 // (Prometheus text), /metrics.json (snapshot), and /debug/pprof.
 package main
@@ -57,6 +61,7 @@ func run() error {
 		filters   = flag.Int("filters", 1, "filtering tuples per query")
 		query     = flag.Float64("query", 0, "issue one query with this distance of interest, print the skyline, and exit")
 		peers     = flag.Int("peers", 0, "network size for the query quorum (default: directory size)")
+		lease     = flag.Duration("lease", 0, "register with a directory lease of this TTL, kept alive by heartbeat (0 = permanent)")
 		httpAddr  = flag.String("http", "", "serve /metrics, /metrics.json, and /debug/pprof on this address")
 	)
 	flag.Parse()
@@ -125,6 +130,7 @@ func run() error {
 	client := tcp.NewDirectoryClient(*join)
 	cfg := tcp.DefaultConfig()
 	cfg.Registry = reg
+	cfg.LeaseTTL = *lease
 	peer, err := tcp.NewPeer(core.DeviceID(*id), data, schema, est, true,
 		tuple.Point{X: *x, Y: *y}, client, cfg)
 	if err != nil {

@@ -2,7 +2,9 @@
 // localhost: nine peers, each holding one cell of a points-of-interest
 // dataset, linked in a grid like devices in radio range of each other.
 // Messages are serialized with the binary wire format — the same bytes a
-// deployment between physical devices would exchange.
+// deployment between physical devices would exchange. Each neighbour link
+// rides the supervised connection pool (reconnect, retry, dead-letter
+// accounting); internal/chaos soaks the same topology under fault plans.
 //
 // Run with: go run ./examples/tcppeers
 package main

@@ -1,0 +1,229 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"manetskyline/internal/core"
+	"manetskyline/internal/wire"
+)
+
+// linkProxy forwards frames for one directed link (from → to), applying the
+// plan. Each accepted client connection gets its own backend connection to
+// the destination peer (resolved at accept time, so a re-registered peer on
+// a new port is picked up by the next connection).
+type linkProxy struct {
+	r        *Router
+	from, to int
+	ln       net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+func newLinkProxy(r *Router, from, to int) (*linkProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &linkProxy{r: r, from: from, to: to, ln: ln, conns: make(map[net.Conn]struct{})}
+	r.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+func (p *linkProxy) addr() string { return p.ln.Addr().String() }
+
+// track registers a connection for teardown; returns false if the proxy is
+// already closing.
+func (p *linkProxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conns == nil {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *linkProxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conns != nil {
+		delete(p.conns, c)
+	}
+}
+
+// close stops the listener and severs every live connection so pumps
+// unblock.
+func (p *linkProxy) close() {
+	p.ln.Close()
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+	for c := range conns {
+		c.Close()
+	}
+}
+
+func (p *linkProxy) acceptLoop() {
+	defer p.r.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.r.wg.Add(1)
+		go p.pump(client)
+	}
+}
+
+// pump shuttles frames from one client connection to a fresh backend
+// connection, applying the plan per frame.
+func (p *linkProxy) pump(client net.Conn) {
+	defer p.r.wg.Done()
+	defer client.Close()
+	if !p.track(client) {
+		return
+	}
+	defer p.untrack(client)
+
+	addr, ok := p.r.inner.Lookup(core.DeviceID(p.to))
+	if !ok {
+		return
+	}
+	backend, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return
+	}
+	defer backend.Close()
+	if !p.track(backend) {
+		return
+	}
+	defer p.untrack(backend)
+
+	// The protocol never sends bytes backend → client, but propagating a
+	// backend close (peer crash) to the client keeps failure detection
+	// honest.
+	p.r.wg.Add(1)
+	go func() {
+		defer p.r.wg.Done()
+		io.Copy(io.Discard, backend)
+		client.Close()
+	}()
+
+	// Delayed (reordered) writes from other goroutines share the backend
+	// stream with the inline path; the mutex keeps frames intact.
+	var wmu sync.Mutex
+	var delayed sync.WaitGroup
+	defer delayed.Wait()
+
+	for {
+		msg, err := wire.ReadFrame(client)
+		if err != nil {
+			return
+		}
+		if !p.waitHealed() {
+			return
+		}
+		now := p.r.now()
+		if p.r.eval.DropFrame(p.from, p.to, now, p.r.pos(p.from), p.r.pos(p.to)) {
+			continue
+		}
+		delay, dups := p.r.eval.FrameEffects(now)
+		wallDelay := p.r.wallFor(delay) + p.r.opts.Extras.Latency
+		if wallDelay > 0 {
+			msg := msg
+			delayed.Add(1)
+			p.r.wg.Add(1)
+			go func() {
+				defer p.r.wg.Done()
+				defer delayed.Done()
+				select {
+				case <-time.After(wallDelay):
+				case <-p.r.done:
+					return
+				}
+				wmu.Lock()
+				defer wmu.Unlock()
+				for i := 0; i <= dups; i++ {
+					if p.writeFrame(backend, msg) != nil {
+						return
+					}
+				}
+			}()
+			continue
+		}
+		wmu.Lock()
+		werr := p.writeFrame(backend, msg)
+		for i := 0; i < dups && werr == nil; i++ {
+			werr = p.writeFrame(backend, msg)
+		}
+		wmu.Unlock()
+		if werr != nil {
+			return
+		}
+		if p.r.chance(p.r.opts.Extras.ResetProb) {
+			// Forwarded, then reset: connection churn without frame loss.
+			return
+		}
+	}
+}
+
+// waitHealed blocks while the link is severed (outage or partition), letting
+// frames queue rather than vanish — a severed TCP path loses no data unless
+// an endpoint gives up. Returns false when the router shuts down first.
+func (p *linkProxy) waitHealed() bool {
+	for {
+		now := p.r.now()
+		if !p.r.eval.Severed(p.from, p.to, now) {
+			return true
+		}
+		until, forever := p.r.eval.SeveredUntil(p.from, p.to, now)
+		wait := 100 * time.Millisecond
+		if !forever {
+			if w := p.r.wallFor(until-now) + time.Millisecond; w < wait {
+				wait = w
+			}
+		}
+		select {
+		case <-p.r.done:
+			return false
+		case <-time.After(wait):
+		}
+	}
+}
+
+// writeFrame forwards one frame, trickling it byte-wise when configured.
+// Callers hold the per-backend write mutex.
+func (p *linkProxy) writeFrame(backend net.Conn, msg []byte) error {
+	chunk := p.r.opts.Extras.TrickleChunk
+	if chunk <= 0 {
+		return wire.WriteFrame(backend, msg)
+	}
+	buf := make([]byte, 4, 4+len(msg))
+	binary.LittleEndian.PutUint32(buf, uint32(len(msg)))
+	buf = append(buf, msg...)
+	for len(buf) > 0 {
+		n := chunk
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if _, err := backend.Write(buf[:n]); err != nil {
+			return err
+		}
+		buf = buf[n:]
+		if d := p.r.opts.Extras.TrickleDelay; d > 0 && len(buf) > 0 {
+			select {
+			case <-p.r.done:
+				return net.ErrClosed
+			case <-time.After(d):
+			}
+		}
+	}
+	return nil
+}

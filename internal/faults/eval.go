@@ -1,0 +1,181 @@
+package faults
+
+import (
+	"math/rand"
+	"sync"
+
+	"manetskyline/internal/tuple"
+)
+
+// Eval answers "what does this plan do to the link from → to at time now?"
+// for consumers that run outside the discrete-event simulator — most
+// importantly the live-socket chaos proxy (internal/chaos), which maps wall
+// clock onto plan time. Unlike Injector it has no radio/sim dependencies,
+// is safe for concurrent use, and draws loss decisions from its own locked
+// stream (live runs are not replayed byte-for-byte, so per-call determinism
+// is not required — only distribution fidelity).
+type Eval struct {
+	plan *Plan
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	outagesByNode map[int][]Window
+	groups        []map[int]int
+}
+
+// NewEval builds an evaluator for the plan. The seed feeds the private
+// random stream when the plan does not pin its own.
+func NewEval(p *Plan, seed int64) *Eval {
+	if p.Seed != 0 {
+		seed = p.Seed
+	}
+	e := &Eval{
+		plan:          p,
+		rng:           rand.New(rand.NewSource(seed)),
+		outagesByNode: make(map[int][]Window),
+	}
+	for _, o := range p.Outages {
+		e.outagesByNode[o.Node] = append(e.outagesByNode[o.Node], o.Window)
+	}
+	for _, pt := range p.Partitions {
+		m := make(map[int]int)
+		for g, nodes := range pt.Groups {
+			for _, n := range nodes {
+				m[n] = g
+			}
+		}
+		e.groups = append(e.groups, m)
+	}
+	return e
+}
+
+// Plan returns the schedule the evaluator answers for.
+func (e *Eval) Plan() *Plan { return e.plan }
+
+// NodeDown reports whether the node sits inside an outage window at now.
+func (e *Eval) NodeDown(node int, now float64) bool {
+	for _, w := range e.outagesByNode[node] {
+		if w.Active(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// Severed reports whether a partition (or an endpoint outage) blocks the
+// link from → to at now. Deterministic: no random draw is consumed.
+func (e *Eval) Severed(from, to int, now float64) bool {
+	if e.NodeDown(from, now) || e.NodeDown(to, now) {
+		return true
+	}
+	for i, pt := range e.plan.Partitions {
+		if !pt.Active(now) {
+			continue
+		}
+		m := e.groups[i]
+		gf, okf := m[from]
+		gt, okt := m[to]
+		if !okf {
+			gf = -1
+		}
+		if !okt {
+			gt = -1
+		}
+		if gf != gt {
+			return true
+		}
+	}
+	return false
+}
+
+// SeveredUntil returns the plan time at which every currently-severing
+// window over from → to has ended, and whether any of them is open-ended
+// (a permanent cut). When the link is not severed it returns (now, false).
+func (e *Eval) SeveredUntil(from, to int, now float64) (until float64, forever bool) {
+	until = now
+	extend := func(w Window) {
+		if !w.Active(now) {
+			return
+		}
+		if w.End <= 0 {
+			forever = true
+		} else if w.End > until {
+			until = w.End
+		}
+	}
+	for _, w := range e.outagesByNode[from] {
+		extend(w)
+	}
+	for _, w := range e.outagesByNode[to] {
+		extend(w)
+	}
+	for i, pt := range e.plan.Partitions {
+		m := e.groups[i]
+		gf, okf := m[from]
+		gt, okt := m[to]
+		if !okf {
+			gf = -1
+		}
+		if !okt {
+			gt = -1
+		}
+		if gf != gt {
+			extend(pt.Window)
+		}
+	}
+	return until, forever
+}
+
+// DropFrame decides whether probabilistic loss (link or region windows)
+// removes one frame on from → to at now. Endpoint positions feed region
+// loss; pass zero points when positions are unknown (region loss then only
+// fires for regions containing the origin).
+func (e *Eval) DropFrame(from, to int, now float64, fromPos, toPos tuple.Point) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, l := range e.plan.LinkLoss {
+		match := (l.From == from && l.To == to) ||
+			(l.Bidirectional && l.From == to && l.To == from)
+		if !match || !l.Active(now) {
+			continue
+		}
+		if l.Prob >= 1 || e.rng.Float64() < l.Prob {
+			return true
+		}
+	}
+	for _, r := range e.plan.RegionLoss {
+		if !r.Active(now) {
+			continue
+		}
+		if !r.contains(fromPos.X, fromPos.Y) && !r.contains(toPos.X, toPos.Y) {
+			continue
+		}
+		if r.Prob >= 1 || e.rng.Float64() < r.Prob {
+			return true
+		}
+	}
+	return false
+}
+
+// FrameEffects draws the chaos perturbations for one frame at now: delay is
+// the extra seconds to hold the frame (reordering it past its successors)
+// and dups is how many extra copies to deliver.
+func (e *Eval) FrameEffects(now float64) (delay float64, dups int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, c := range e.plan.Reorder {
+		if c.Active(now) && e.rng.Float64() < c.Prob {
+			delay += e.rng.Float64() * c.MaxDelay
+		}
+	}
+	for _, c := range e.plan.Duplicate {
+		if c.Active(now) && e.rng.Float64() < c.Prob {
+			dups++
+			if c.MaxExtra > 1 {
+				dups += e.rng.Intn(c.MaxExtra)
+			}
+		}
+	}
+	return delay, dups
+}

@@ -1,0 +1,200 @@
+package tcp
+
+import (
+	"net"
+	"time"
+
+	"manetskyline/internal/core"
+	"manetskyline/internal/wire"
+)
+
+// Invalidator is the optional Resolver extension the connection pool uses
+// to evict a cached address after a dial failure, so the next lookup
+// re-resolves against the authoritative directory (a restarted peer comes
+// back on a new port).
+type Invalidator interface {
+	Invalidate(id core.DeviceID)
+}
+
+// outFrame is one queued message with its enqueue time; frames older than
+// Config.RetryTimeout are dead-lettered instead of retried, since any query
+// they belonged to has timed out anyway.
+type outFrame struct {
+	msg []byte
+	enq time.Time
+}
+
+// peerConn is one supervised outbound link: a bounded send queue drained by
+// a single writer goroutine that dials lazily, reconnects under capped
+// exponential backoff, enforces write deadlines, retries failed frames
+// until they expire, and reaps the socket when the link sits idle. It
+// replaces the dial-per-message send of the original transport.
+type peerConn struct {
+	p  *Peer
+	id core.DeviceID
+
+	queue chan outFrame
+}
+
+// newPeerConn starts the writer goroutine; the caller holds p.mu and has
+// already checked p.closed.
+func newPeerConn(p *Peer, id core.DeviceID) *peerConn {
+	pc := &peerConn{p: p, id: id, queue: make(chan outFrame, p.cfg.SendQueueLen)}
+	p.wg.Add(1)
+	go pc.run()
+	return pc
+}
+
+// enqueue hands one frame to the writer. A full queue dead-letters the
+// frame immediately: the peer is already far behind, and unbounded memory
+// is worse than loss the protocol's quorum/timeout machinery absorbs.
+func (pc *peerConn) enqueue(msg []byte) {
+	select {
+	case pc.queue <- outFrame{msg: msg, enq: time.Now()}:
+	default:
+		pc.p.met.DeadLetters.Inc()
+		pc.p.logf("tcp: peer %d: send queue to %d full, frame dead-lettered", pc.p.dev.ID, pc.id)
+	}
+}
+
+// run is the writer loop. It owns the socket exclusively.
+func (pc *peerConn) run() {
+	p := pc.p
+	defer p.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	idle := time.NewTimer(p.cfg.IdleConnTimeout)
+	defer idle.Stop()
+	for {
+		select {
+		case f := <-pc.queue:
+			conn = pc.deliver(conn, f)
+			if !idle.Stop() {
+				select {
+				case <-idle.C:
+				default:
+				}
+			}
+			idle.Reset(p.cfg.IdleConnTimeout)
+		case <-idle.C:
+			if conn != nil {
+				conn.Close()
+				conn = nil
+				p.met.ConnsReaped.Inc()
+			}
+			idle.Reset(p.cfg.IdleConnTimeout)
+		case <-p.ctx.Done():
+			pc.drain(conn)
+			return
+		}
+	}
+}
+
+// deliver writes one frame, dialing and redialing as needed, until it is on
+// the wire, the frame expires, or the peer shuts down. It returns the
+// connection to keep for the next frame (nil when closed).
+func (pc *peerConn) deliver(conn net.Conn, f outFrame) net.Conn {
+	p := pc.p
+	backoff := p.cfg.ReconnectBackoff
+	for attempt := 0; ; attempt++ {
+		if time.Since(f.enq) > p.cfg.RetryTimeout {
+			p.met.DeadLetters.Inc()
+			p.logf("tcp: peer %d: frame to %d expired after %d attempts", p.dev.ID, pc.id, attempt)
+			return conn
+		}
+		if conn == nil {
+			c, err := pc.dial()
+			if err != nil {
+				p.met.DialFailures.Inc()
+				if inv, ok := p.dir.(Invalidator); ok {
+					inv.Invalidate(pc.id)
+				}
+				if !pc.sleep(backoff) {
+					return nil // shutting down
+				}
+				backoff *= 2
+				if backoff > p.cfg.ReconnectBackoffMax {
+					backoff = p.cfg.ReconnectBackoffMax
+				}
+				continue
+			}
+			conn = c
+			if attempt > 0 {
+				p.met.Reconnects.Inc()
+			}
+		}
+		conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+		if err := wire.WriteFrame(conn, f.msg); err == nil {
+			p.met.MessagesOut.Inc()
+			p.met.BytesOut.Add(frameBytes(f.msg))
+			return conn
+		}
+		conn.Close()
+		conn = nil
+		p.met.SendRetries.Inc()
+	}
+}
+
+// dial resolves the peer through the directory and connects. A peer the
+// directory no longer vouches for (lease expired, never registered) is a
+// dial failure: the backoff loop keeps polling, so a re-registration is
+// picked up as soon as the directory reflects it.
+func (pc *peerConn) dial() (net.Conn, error) {
+	addr, ok := pc.p.dir.Lookup(pc.id)
+	if !ok {
+		return nil, errUnresolved
+	}
+	pc.p.met.Dials.Inc()
+	return net.DialTimeout("tcp", addr, pc.p.cfg.DialTimeout)
+}
+
+// sleep waits d or until shutdown; it reports false when shutting down.
+func (pc *peerConn) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-pc.p.ctx.Done():
+		return false
+	}
+}
+
+// drain gives queued frames one best-effort flush within DrainTimeout so a
+// graceful shutdown does not strand results already computed (e.g. replies
+// to a query that arrived just before Close).
+func (pc *peerConn) drain(conn net.Conn) {
+	p := pc.p
+	deadline := time.Now().Add(p.cfg.DrainTimeout)
+	for {
+		select {
+		case f := <-pc.queue:
+			if conn == nil {
+				c, err := pc.dial()
+				if err != nil {
+					p.met.DeadLetters.Inc()
+					continue
+				}
+				conn = c
+			}
+			conn.SetWriteDeadline(deadline)
+			if err := wire.WriteFrame(conn, f.msg); err != nil {
+				conn.Close()
+				conn = nil
+				p.met.DeadLetters.Inc()
+				continue
+			}
+			p.met.MessagesOut.Inc()
+			p.met.BytesOut.Add(frameBytes(f.msg))
+		default:
+			if conn != nil {
+				conn.Close()
+			}
+			return
+		}
+	}
+}

@@ -15,7 +15,8 @@ import (
 // Resolver maps device IDs to addresses; Peer uses it to reach originators
 // and neighbours. Directory is the in-process implementation;
 // DirectoryClient resolves against a DirectoryServer over TCP, which is
-// what separate skypeer processes use.
+// what separate skypeer processes use. Implementations may additionally
+// support LeaseRegistrar, Heartbeater, and Invalidator.
 type Resolver interface {
 	// Register records a peer's address.
 	Register(id core.DeviceID, addr string)
@@ -26,9 +27,12 @@ type Resolver interface {
 // dirRequest is the JSON request of the directory protocol (one request and
 // one response per connection).
 type dirRequest struct {
-	Op   string `json:"op"` // "register", "lookup", "list"
+	Op   string `json:"op"` // "register", "lookup", "list", "heartbeat"
 	ID   int    `json:"id,omitempty"`
 	Addr string `json:"addr,omitempty"`
+	// TTLMS leases the registration for this many milliseconds; zero
+	// registers permanently (the pre-lease protocol, still accepted).
+	TTLMS int64 `json:"ttl_ms,omitempty"`
 }
 
 // dirResponse is the JSON response.
@@ -39,8 +43,12 @@ type dirResponse struct {
 	Peers map[string]string `json:"peers,omitempty"`
 }
 
+// janitorInterval is how often the DirectoryServer sweeps decayed leases.
+const janitorInterval = 250 * time.Millisecond
+
 // DirectoryServer serves a Directory over TCP — the bootstrap/rendezvous
-// component of a multi-process deployment.
+// component of a multi-process deployment. Leased registrations expire
+// unless refreshed by heartbeat; a janitor goroutine evicts the dead.
 type DirectoryServer struct {
 	dir *Directory
 	ln  net.Listener
@@ -50,6 +58,7 @@ type DirectoryServer struct {
 
 	mu     sync.Mutex
 	closed bool
+	done   chan struct{}
 }
 
 // SetRegistry attaches telemetry to the server; call before clients connect.
@@ -64,14 +73,19 @@ func NewDirectoryServer(addr string) (*DirectoryServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &DirectoryServer{dir: NewDirectory(), ln: ln}
-	s.wg.Add(1)
+	s := &DirectoryServer{dir: NewDirectory(), ln: ln, done: make(chan struct{})}
+	s.wg.Add(2)
 	go s.acceptLoop()
+	go s.janitor()
 	return s, nil
 }
 
 // Addr returns the server's listen address.
 func (s *DirectoryServer) Addr() string { return s.ln.Addr().String() }
+
+// Directory exposes the server's backing directory (lease states for
+// tests and operators).
+func (s *DirectoryServer) Directory() *Directory { return s.dir }
 
 // Close stops the server.
 func (s *DirectoryServer) Close() {
@@ -82,6 +96,7 @@ func (s *DirectoryServer) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	close(s.done)
 	s.ln.Close()
 	s.wg.Wait()
 }
@@ -101,6 +116,23 @@ func (s *DirectoryServer) acceptLoop() {
 	}
 }
 
+// janitor periodically evicts registrations whose lease decayed to down.
+func (s *DirectoryServer) janitor() {
+	defer s.wg.Done()
+	t := time.NewTicker(janitorInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if n := s.dir.Sweep(); n > 0 {
+				s.met.LeasesExpired.Add(int64(n))
+			}
+		case <-s.done:
+			return
+		}
+	}
+}
+
 func (s *DirectoryServer) serve(conn net.Conn) {
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(5 * time.Second))
@@ -112,7 +144,14 @@ func (s *DirectoryServer) serve(conn net.Conn) {
 	enc := json.NewEncoder(conn)
 	switch req.Op {
 	case "register":
-		s.dir.Register(core.DeviceID(req.ID), req.Addr)
+		s.dir.RegisterLease(core.DeviceID(req.ID), req.Addr, time.Duration(req.TTLMS)*time.Millisecond)
+		enc.Encode(dirResponse{OK: true})
+	case "heartbeat":
+		s.met.DirHeartbeats.Inc()
+		if !s.dir.Heartbeat(core.DeviceID(req.ID)) {
+			enc.Encode(dirResponse{OK: false, Error: "unknown peer"})
+			return
+		}
 		enc.Encode(dirResponse{OK: true})
 	case "lookup":
 		addr, ok := s.dir.Lookup(core.DeviceID(req.ID))
@@ -122,12 +161,11 @@ func (s *DirectoryServer) serve(conn net.Conn) {
 		}
 		enc.Encode(dirResponse{OK: true, Addr: addr})
 	case "list":
-		s.dir.mu.RLock()
-		peers := make(map[string]string, len(s.dir.addrs))
-		for id, addr := range s.dir.addrs {
+		snap := s.dir.Snapshot()
+		peers := make(map[string]string, len(snap))
+		for id, addr := range snap {
 			peers[strconv.Itoa(int(id))] = addr
 		}
-		s.dir.mu.RUnlock()
 		enc.Encode(dirResponse{OK: true, Peers: peers})
 	default:
 		enc.Encode(dirResponse{OK: false, Error: fmt.Sprintf("unknown op %q", req.Op)})
@@ -179,7 +217,14 @@ func (c *DirectoryClient) Register(id core.DeviceID, addr string) {
 
 // RegisterErr is Register with an error result.
 func (c *DirectoryClient) RegisterErr(id core.DeviceID, addr string) error {
-	resp, err := c.roundTrip(dirRequest{Op: "register", ID: int(id), Addr: addr})
+	return c.RegisterLease(id, addr, 0)
+}
+
+// RegisterLease records this peer under a TTL lease (0 ⇒ permanent).
+func (c *DirectoryClient) RegisterLease(id core.DeviceID, addr string, ttl time.Duration) error {
+	resp, err := c.roundTrip(dirRequest{
+		Op: "register", ID: int(id), Addr: addr, TTLMS: ttl.Milliseconds(),
+	})
 	if err != nil {
 		return err
 	}
@@ -189,8 +234,16 @@ func (c *DirectoryClient) RegisterErr(id core.DeviceID, addr string) error {
 	return nil
 }
 
-// Lookup resolves a peer, caching successful answers (peers re-register if
-// they move; the demo deployment's addresses are stable).
+// Heartbeat refreshes this peer's lease; false tells the caller to
+// re-register (the server forgot the peer, or the request failed).
+func (c *DirectoryClient) Heartbeat(id core.DeviceID) bool {
+	resp, err := c.roundTrip(dirRequest{Op: "heartbeat", ID: int(id)})
+	return err == nil && resp.OK
+}
+
+// Lookup resolves a peer, caching successful answers. The cache is evicted
+// by Invalidate when the transport observes dial failures, so a peer that
+// re-registered on a new address is re-resolved instead of pinned stale.
 func (c *DirectoryClient) Lookup(id core.DeviceID) (string, bool) {
 	c.mu.Lock()
 	if addr, ok := c.cache[id]; ok {
@@ -208,7 +261,14 @@ func (c *DirectoryClient) Lookup(id core.DeviceID) (string, bool) {
 	return resp.Addr, true
 }
 
-// List returns every registered peer.
+// Invalidate drops a cached address so the next Lookup asks the server.
+func (c *DirectoryClient) Invalidate(id core.DeviceID) {
+	c.mu.Lock()
+	delete(c.cache, id)
+	c.mu.Unlock()
+}
+
+// List returns every resolvable registered peer.
 func (c *DirectoryClient) List() (map[core.DeviceID]string, error) {
 	resp, err := c.roundTrip(dirRequest{Op: "list"})
 	if err != nil {

@@ -11,9 +11,32 @@ type Metrics struct {
 	// currently being served.
 	ConnsAccepted *telemetry.Counter
 	OpenConns     *telemetry.Gauge
-	// Dials and DialFailures count outbound connection attempts.
+	// Dials and DialFailures count outbound connection attempts; Reconnects
+	// counts links re-established after at least one failure, ConnsReaped
+	// counts idle outbound connections closed by the pool.
 	Dials        *telemetry.Counter
 	DialFailures *telemetry.Counter
+	Reconnects   *telemetry.Counter
+	ConnsReaped  *telemetry.Counter
+	// SendRetries counts frames re-attempted after a write failure;
+	// DeadLetters counts frames abandoned (queue full, retry window
+	// exhausted, or unflushable at shutdown); SendsSuppressed counts sends
+	// skipped because the directory no longer resolves the peer.
+	SendRetries     *telemetry.Counter
+	DeadLetters     *telemetry.Counter
+	SendsSuppressed *telemetry.Counter
+	// DecodeFailures counts inbound frames whose decode failed (the
+	// connection is closed); FramesDropped counts well-framed messages of
+	// unknown kind that were skipped; DupResults counts duplicate result
+	// frames ignored by the quorum dedupe.
+	DecodeFailures *telemetry.Counter
+	FramesDropped  *telemetry.Counter
+	DupResults     *telemetry.Counter
+	// Heartbeats counts lease refreshes attempted by this peer;
+	// HeartbeatFailures counts re-registrations that failed after a
+	// rejected heartbeat.
+	Heartbeats        *telemetry.Counter
+	HeartbeatFailures *telemetry.Counter
 	// MessagesIn/Out and BytesIn/Out count framed protocol messages and
 	// their wire bytes (payload plus the 4-byte length prefix).
 	MessagesIn  *telemetry.Counter
@@ -25,8 +48,12 @@ type Metrics struct {
 	QueriesIssued    *telemetry.Counter
 	QueriesCompleted *telemetry.Counter
 	QueryLatency     *telemetry.Histogram
-	// DirRequests counts directory protocol requests served.
-	DirRequests *telemetry.Counter
+	// DirRequests counts directory protocol requests served; DirHeartbeats
+	// the heartbeat subset; LeasesExpired the registrations the janitor
+	// evicted after their lease decayed.
+	DirRequests   *telemetry.Counter
+	DirHeartbeats *telemetry.Counter
+	LeasesExpired *telemetry.Counter
 }
 
 // NewMetrics registers the TCP metrics in r (nil r ⇒ disabled metrics).
@@ -36,6 +63,18 @@ func NewMetrics(r *telemetry.Registry) Metrics {
 		OpenConns:     r.Gauge("tcp_open_conns", "inbound connections currently being served"),
 		Dials:         r.Counter("tcp_dials_total", "outbound connection attempts"),
 		DialFailures:  r.Counter("tcp_dial_failures_total", "outbound connection attempts that failed"),
+		Reconnects:    r.Counter("tcp_reconnects_total", "links re-established after at least one failure"),
+		ConnsReaped:   r.Counter("tcp_conns_reaped_total", "idle outbound connections closed by the pool"),
+		SendRetries:   r.Counter("tcp_send_retries_total", "frames re-attempted after a write failure"),
+		DeadLetters:   r.Counter("tcp_dead_letters_total", "frames abandoned after queue overflow or retry exhaustion"),
+		SendsSuppressed: r.Counter("tcp_sends_suppressed_total",
+			"sends skipped because the directory no longer resolves the peer"),
+		DecodeFailures: r.Counter("tcp_decode_failures_total", "inbound frames whose decode failed"),
+		FramesDropped:  r.Counter("tcp_frames_dropped_total", "well-framed inbound messages of unknown kind skipped"),
+		DupResults:     r.Counter("tcp_dup_results_total", "duplicate result frames ignored by the quorum dedupe"),
+		Heartbeats:     r.Counter("tcp_heartbeats_total", "directory lease refreshes attempted"),
+		HeartbeatFailures: r.Counter("tcp_heartbeat_failures_total",
+			"lease re-registrations that failed after a rejected heartbeat"),
 		MessagesIn:    r.Counter("tcp_messages_in_total", "framed protocol messages received"),
 		MessagesOut:   r.Counter("tcp_messages_out_total", "framed protocol messages sent"),
 		BytesIn:       r.Counter("tcp_bytes_in_total", "wire bytes received including frame headers"),
@@ -45,7 +84,9 @@ func NewMetrics(r *telemetry.Registry) Metrics {
 			"originated queries whose quorum of results arrived in time"),
 		QueryLatency: r.Histogram("tcp_query_latency_seconds",
 			"end-to-end latency of originated queries", telemetry.LatencyBuckets()),
-		DirRequests: r.Counter("tcp_dir_requests_total", "directory protocol requests served"),
+		DirRequests:   r.Counter("tcp_dir_requests_total", "directory protocol requests served"),
+		DirHeartbeats: r.Counter("tcp_dir_heartbeats_total", "directory heartbeat requests served"),
+		LeasesExpired: r.Counter("tcp_leases_expired_total", "registrations evicted after lease decay"),
 	}
 }
 

@@ -4,13 +4,21 @@
 // to the originator, whose address is resolved through a shared directory
 // (the rendezvous a real deployment would provide via its bootstrap layer).
 //
+// The transport is supervised and self-healing: every neighbour link is a
+// managed connection with a bounded send queue, reconnect under capped
+// exponential backoff, read/write deadlines, retry with dead-letter
+// accounting, and idle reaping. The directory can grant TTL leases that
+// peers keep alive by heartbeat, so crashed peers expire out of the flood
+// fan-out instead of black-holing traffic forever.
+//
 // This is the strongest form of the paper's real-device validation this
 // reproduction can offer: the exact protocol logic of internal/core,
 // serialized byte-for-byte, crossing genuine OS sockets between concurrent
-// peers.
+// peers — and surviving the churn internal/chaos injects underneath it.
 package tcp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -23,34 +31,6 @@ import (
 	"manetskyline/internal/wire"
 )
 
-// Directory is the in-process Resolver: a map all peers of one process
-// share. Multi-process deployments use DirectoryClient against a
-// DirectoryServer instead.
-type Directory struct {
-	mu    sync.RWMutex
-	addrs map[core.DeviceID]string
-}
-
-// NewDirectory returns an empty directory.
-func NewDirectory() *Directory {
-	return &Directory{addrs: make(map[core.DeviceID]string)}
-}
-
-// Register records a peer's address.
-func (d *Directory) Register(id core.DeviceID, addr string) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.addrs[id] = addr
-}
-
-// Lookup resolves a peer's address.
-func (d *Directory) Lookup(id core.DeviceID) (string, bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	a, ok := d.addrs[id]
-	return a, ok
-}
-
 // Config tunes a peer.
 type Config struct {
 	// QueryTimeout bounds how long Query waits for results.
@@ -59,9 +39,43 @@ type Config struct {
 	Quorum float64
 	// DialTimeout bounds outgoing connection attempts.
 	DialTimeout time.Duration
+	// WriteTimeout bounds one frame write on an established connection
+	// (0 ⇒ DialTimeout).
+	WriteTimeout time.Duration
+	// ReadIdleTimeout closes an inbound connection that stays silent this
+	// long (0 ⇒ 2 minutes).
+	ReadIdleTimeout time.Duration
+	// SendQueueLen bounds each neighbour link's send queue; a full queue
+	// dead-letters new frames (0 ⇒ 128).
+	SendQueueLen int
+	// RetryTimeout bounds how long a queued frame is retried across
+	// reconnects before it is dead-lettered (0 ⇒ QueryTimeout).
+	RetryTimeout time.Duration
+	// ReconnectBackoff is the delay before the first redial of a failed
+	// link; each further attempt doubles it up to ReconnectBackoffMax
+	// (0 ⇒ 25ms, capped at 1s).
+	ReconnectBackoff    time.Duration
+	ReconnectBackoffMax time.Duration
+	// IdleConnTimeout reaps an outbound connection with nothing to send
+	// (0 ⇒ 30s).
+	IdleConnTimeout time.Duration
+	// DrainTimeout bounds the best-effort flush of queued frames during
+	// Close (0 ⇒ 200ms).
+	DrainTimeout time.Duration
+	// LeaseTTL, when positive, registers the peer with a directory lease of
+	// this duration and starts a heartbeat loop that keeps it alive; an
+	// expired lease makes the peer invisible to Lookup, pruning it from
+	// every other peer's flood fan-out. Zero keeps the original permanent
+	// registration.
+	LeaseTTL time.Duration
+	// HeartbeatInterval is the lease refresh period (0 ⇒ LeaseTTL/3).
+	HeartbeatInterval time.Duration
 	// Registry, when non-nil, receives live tcp_* and core_* metrics from
 	// this peer (exposed over /metrics by cmd/skypeer).
 	Registry *telemetry.Registry
+	// Logf, when non-nil, receives transport diagnostics (dropped frames,
+	// decode failures, dead letters) that are otherwise only counted.
+	Logf func(format string, args ...any)
 }
 
 // DefaultConfig returns settings suitable for localhost demos and tests.
@@ -81,8 +95,51 @@ func (c Config) Validate() error {
 	if c.Quorum <= 0 || c.Quorum > 1 {
 		return fmt.Errorf("tcp: quorum %g outside (0,1]", c.Quorum)
 	}
+	if c.WriteTimeout < 0 || c.ReadIdleTimeout < 0 || c.RetryTimeout < 0 ||
+		c.ReconnectBackoff < 0 || c.ReconnectBackoffMax < 0 ||
+		c.IdleConnTimeout < 0 || c.DrainTimeout < 0 ||
+		c.LeaseTTL < 0 || c.HeartbeatInterval < 0 || c.SendQueueLen < 0 {
+		return fmt.Errorf("tcp: negative transport tuning field")
+	}
 	return nil
 }
+
+// withDefaults fills the zero values of the transport tuning fields, so a
+// Config carrying only the original three knobs behaves sensibly.
+func (c Config) withDefaults() Config {
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = c.DialTimeout
+	}
+	if c.ReadIdleTimeout == 0 {
+		c.ReadIdleTimeout = 2 * time.Minute
+	}
+	if c.SendQueueLen == 0 {
+		c.SendQueueLen = 128
+	}
+	if c.RetryTimeout == 0 {
+		c.RetryTimeout = c.QueryTimeout
+	}
+	if c.ReconnectBackoff == 0 {
+		c.ReconnectBackoff = 25 * time.Millisecond
+	}
+	if c.ReconnectBackoffMax == 0 {
+		c.ReconnectBackoffMax = time.Second
+	}
+	if c.IdleConnTimeout == 0 {
+		c.IdleConnTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 200 * time.Millisecond
+	}
+	if c.HeartbeatInterval == 0 && c.LeaseTTL > 0 {
+		c.HeartbeatInterval = c.LeaseTTL / 3
+	}
+	return c
+}
+
+// errUnresolved marks a dial attempt against a peer the directory does not
+// (or no longer does) vouch for.
+var errUnresolved = errors.New("tcp: peer not in directory")
 
 // Peer is one TCP-connected device.
 type Peer struct {
@@ -92,9 +149,14 @@ type Peer struct {
 	dir Resolver
 	ln  net.Listener
 
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	mu        sync.Mutex
 	neighbors []core.DeviceID
 	pending   map[core.QueryKey]*pendingQuery
+	conns     map[core.DeviceID]*peerConn
+	inbound   map[net.Conn]struct{}
 	closed    bool
 
 	met Metrics
@@ -104,6 +166,7 @@ type Peer struct {
 
 type pendingQuery struct {
 	merged  []tuple.Tuple
+	from    map[core.DeviceID]bool
 	results int
 	want    int
 	done    chan struct{}
@@ -111,31 +174,91 @@ type pendingQuery struct {
 }
 
 // NewPeer starts a peer listening on 127.0.0.1 (an ephemeral port),
-// registers it in the directory, and begins serving.
+// registers it in the directory (with a lease when Config.LeaseTTL is set),
+// and begins serving.
 func NewPeer(id core.DeviceID, ts []tuple.Tuple, schema tuple.Schema,
 	mode core.Estimation, dynamic bool, pos tuple.Point,
 	dir Resolver, cfg Config) (*Peer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cfg = cfg.withDefaults()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	p := &Peer{
 		cfg:     cfg,
 		dev:     core.NewDevice(id, ts, schema, mode, dynamic),
 		pos:     pos,
 		dir:     dir,
 		ln:      ln,
+		ctx:     ctx,
+		cancel:  cancel,
 		pending: make(map[core.QueryKey]*pendingQuery),
+		conns:   make(map[core.DeviceID]*peerConn),
+		inbound: make(map[net.Conn]struct{}),
 		met:     NewMetrics(cfg.Registry),
 	}
 	p.dev.Met = core.NewMetrics(cfg.Registry, mode)
-	dir.Register(id, ln.Addr().String())
+	if err := p.register(); err != nil {
+		cancel()
+		ln.Close()
+		return nil, err
+	}
 	p.wg.Add(1)
 	go p.acceptLoop()
+	if cfg.LeaseTTL > 0 {
+		p.wg.Add(1)
+		go p.heartbeatLoop()
+	}
 	return p, nil
+}
+
+// register performs the initial directory registration, leased when
+// configured and the resolver supports leases.
+func (p *Peer) register() error {
+	addr := p.ln.Addr().String()
+	if p.cfg.LeaseTTL > 0 {
+		if lr, ok := p.dir.(LeaseRegistrar); ok {
+			return lr.RegisterLease(p.dev.ID, addr, p.cfg.LeaseTTL)
+		}
+	}
+	p.dir.Register(p.dev.ID, addr)
+	return nil
+}
+
+// heartbeatLoop keeps the directory lease alive. A heartbeat the directory
+// rejects (it forgot us — restart, sweep, or server loss) falls back to a
+// full re-registration.
+func (p *Peer) heartbeatLoop() {
+	defer p.wg.Done()
+	hb, hasHB := p.dir.(Heartbeater)
+	t := time.NewTicker(p.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.met.Heartbeats.Inc()
+			if hasHB && hb.Heartbeat(p.dev.ID) {
+				continue
+			}
+			if err := p.register(); err != nil {
+				p.met.HeartbeatFailures.Inc()
+				p.logf("tcp: peer %d: lease re-registration failed: %v", p.dev.ID, err)
+			}
+		case <-p.ctx.Done():
+			return
+		}
+	}
+}
+
+// logf forwards to Config.Logf when set.
+func (p *Peer) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
 }
 
 // ID returns the peer's device ID.
@@ -168,7 +291,11 @@ func (p *Peer) AddNeighbor(id core.DeviceID) {
 	p.neighbors = append(p.neighbors, id)
 }
 
-// Close stops the listener and waits for in-flight handlers.
+// Close shuts the peer down gracefully: pending queries complete
+// immediately with whatever merged so far, queued outbound frames get one
+// best-effort flush within DrainTimeout, and every listener, connection,
+// and goroutine (accept, serve, writer, heartbeat) is torn down before
+// Close returns.
 func (p *Peer) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -176,8 +303,23 @@ func (p *Peer) Close() {
 		return
 	}
 	p.closed = true
+	for _, pq := range p.pending {
+		if !pq.closed {
+			pq.closed = true
+			close(pq.done)
+		}
+	}
+	inbound := make([]net.Conn, 0, len(p.inbound))
+	for c := range p.inbound {
+		inbound = append(inbound, c)
+	}
 	p.mu.Unlock()
+
+	p.cancel()
 	p.ln.Close()
+	for _, c := range inbound {
+		c.Close()
+	}
 	p.wg.Wait()
 }
 
@@ -189,40 +331,63 @@ func (p *Peer) acceptLoop() {
 			return // listener closed
 		}
 		p.met.ConnsAccepted.Inc()
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.inbound[conn] = struct{}{}
+		p.mu.Unlock()
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
 			p.serve(conn)
+			p.mu.Lock()
+			delete(p.inbound, conn)
+			p.mu.Unlock()
 		}()
 	}
 }
 
-// serve handles one inbound connection: a stream of framed messages.
+// serve handles one inbound connection: a stream of framed messages with a
+// per-frame read deadline. Malformed frames are counted and logged, never
+// silently swallowed: a failed decode closes the connection (the stream can
+// no longer be trusted), an unknown kind skips just that frame.
 func (p *Peer) serve(conn net.Conn) {
 	defer conn.Close()
 	p.met.OpenConns.Inc()
 	defer p.met.OpenConns.Dec()
 	for {
+		conn.SetReadDeadline(time.Now().Add(p.cfg.ReadIdleTimeout))
 		msg, err := wire.ReadFrame(conn)
 		if err != nil {
-			return
+			return // EOF, idle timeout, or shutdown
 		}
 		p.met.MessagesIn.Inc()
 		p.met.BytesIn.Add(frameBytes(msg))
 		kind, err := wire.Peek(msg)
 		if err != nil {
-			return
+			// The frame itself parsed; an unrecognized kind is skippable
+			// (framing stays intact), not a reason to kill the stream.
+			p.met.FramesDropped.Inc()
+			p.logf("tcp: peer %d: dropping unknown frame from %s: %v", p.dev.ID, conn.RemoteAddr(), err)
+			continue
 		}
 		switch kind {
 		case wire.KindQuery:
 			q, err := wire.DecodeQuery(msg)
 			if err != nil {
+				p.met.DecodeFailures.Inc()
+				p.logf("tcp: peer %d: closing %s: bad query frame: %v", p.dev.ID, conn.RemoteAddr(), err)
 				return
 			}
 			p.handleQuery(q)
 		case wire.KindResult:
 			r, err := wire.DecodeResult(msg)
 			if err != nil {
+				p.met.DecodeFailures.Inc()
+				p.logf("tcp: peer %d: closing %s: bad result frame: %v", p.dev.ID, conn.RemoteAddr(), err)
 				return
 			}
 			p.handleResult(r)
@@ -230,26 +395,28 @@ func (p *Peer) serve(conn net.Conn) {
 	}
 }
 
-// send dials the peer with the given ID and writes one framed message.
-// Failures are silent: an unreachable neighbour is normal in an ad hoc
-// network and the protocol's quorum/timeout machinery absorbs it.
+// send queues one framed message for the managed link to the peer with the
+// given ID. A peer the directory has expired (lease lapsed) is skipped
+// outright — the liveness-aware fan-out that stops traffic to the dead.
+// Enqueued frames survive transient dial/write failures: the link's writer
+// retries under backoff until the frame exceeds RetryTimeout.
 func (p *Peer) send(to core.DeviceID, msg []byte) {
-	addr, ok := p.dir.Lookup(to)
-	if !ok {
+	if _, ok := p.dir.Lookup(to); !ok {
+		p.met.SendsSuppressed.Inc()
 		return
 	}
-	p.met.Dials.Inc()
-	conn, err := net.DialTimeout("tcp", addr, p.cfg.DialTimeout)
-	if err != nil {
-		p.met.DialFailures.Inc()
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
 		return
 	}
-	defer conn.Close()
-	conn.SetWriteDeadline(time.Now().Add(p.cfg.DialTimeout))
-	if wire.WriteFrame(conn, msg) == nil {
-		p.met.MessagesOut.Inc()
-		p.met.BytesOut.Add(frameBytes(msg))
+	pc := p.conns[to]
+	if pc == nil {
+		pc = newPeerConn(p, to)
+		p.conns[to] = pc
 	}
+	p.mu.Unlock()
+	pc.enqueue(msg)
 }
 
 // handleQuery runs the remote side of the flood: process once, return the
@@ -274,7 +441,10 @@ func (p *Peer) handleQuery(q core.Query) {
 	}
 }
 
-// handleResult merges one device's reply at the originator.
+// handleResult merges one device's reply at the originator. Results are
+// deduplicated by sender: a retried or chaos-duplicated frame must not
+// count twice toward the quorum (it would complete a query early with
+// devices missing).
 func (p *Peer) handleResult(r wire.Result) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -282,6 +452,11 @@ func (p *Peer) handleResult(r wire.Result) {
 	if pq == nil {
 		return
 	}
+	if pq.from[r.From] {
+		p.met.DupResults.Inc()
+		return
+	}
+	pq.from[r.From] = true
 	pq.merged = core.Merge(pq.merged, r.Tuples)
 	pq.results++
 	if !pq.closed && pq.results >= pq.want {
@@ -304,23 +479,26 @@ var ErrClosed = errors.New("tcp: peer closed")
 // Query originates a distributed constrained skyline query at this peer,
 // floods it over the neighbour links, and blocks until the quorum of other
 // peers responded or the timeout elapsed. totalPeers is the network size
-// the quorum is computed against.
+// the quorum is computed against. Closing the peer releases a blocked
+// Query immediately with the results merged so far.
 func (p *Peer) Query(d float64, totalPeers int) (QueryResult, error) {
 	start := time.Now()
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return QueryResult{}, ErrClosed
-	}
-	p.mu.Unlock()
-
 	q, res := p.dev.Originate(p.pos, d)
 	want := int(float64(totalPeers-1)*p.cfg.Quorum + 0.999999)
 	if want < 0 {
 		want = 0
 	}
-	pq := &pendingQuery{merged: res.Skyline, want: want, done: make(chan struct{})}
+	pq := &pendingQuery{
+		merged: res.Skyline,
+		from:   make(map[core.DeviceID]bool),
+		want:   want,
+		done:   make(chan struct{}),
+	}
 	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return QueryResult{}, ErrClosed
+	}
 	p.pending[q.Key()] = pq
 	neighbors := append([]core.DeviceID(nil), p.neighbors...)
 	p.mu.Unlock()
@@ -335,12 +513,12 @@ func (p *Peer) Query(d float64, totalPeers int) (QueryResult, error) {
 		defer timer.Stop()
 		select {
 		case <-pq.done:
-			complete = true
 		case <-timer.C:
 		}
 	}
 
 	p.mu.Lock()
+	complete = complete || pq.results >= pq.want
 	out := QueryResult{
 		Skyline:  append([]tuple.Tuple(nil), pq.merged...),
 		Results:  pq.results,

@@ -1,14 +1,18 @@
 package tcp
 
 import (
+	"net"
 	"sync"
 	"testing"
 	"time"
 
 	"manetskyline/internal/core"
 	"manetskyline/internal/gen"
+	"manetskyline/internal/leaktest"
 	"manetskyline/internal/skyline"
+	"manetskyline/internal/telemetry"
 	"manetskyline/internal/tuple"
+	"manetskyline/internal/wire"
 )
 
 // buildPeers starts a g×g network of TCP peers over a fresh dataset, linked
@@ -154,6 +158,183 @@ func TestConfigValidate(t *testing.T) {
 			t.Errorf("config %d should be invalid", i)
 		}
 	}
+}
+
+// TestDuplicateResultFrameDoesNotCompleteQuorum replays a duplicated Result
+// frame at the originator: the quorum must count unique senders, not
+// messages, or a retried/duplicated reply completes a query with devices
+// missing (the bug this pins down).
+func TestDuplicateResultFrameDoesNotCompleteQuorum(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.QueryTimeout = 600 * time.Millisecond
+	cfg.Registry = reg
+	dir := NewDirectory()
+	p, err := NewPeer(0, nil, tuple.NewSchema(2, 0, 10), core.Under, true, tuple.Point{}, dir, cfg)
+	if err != nil {
+		t.Fatalf("NewPeer: %v", err)
+	}
+	defer p.Close()
+
+	// want = 2 results for totalPeers = 3; the peer has no neighbours, the
+	// test injects replies over a raw socket.
+	resCh := make(chan QueryResult, 1)
+	go func() {
+		r, err := p.Query(core.Unconstrained(), 3)
+		if err != nil {
+			t.Errorf("Query: %v", err)
+		}
+		resCh <- r
+	}()
+	time.Sleep(50 * time.Millisecond) // let the pending query register
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	// The peer's first query is (Org 0, Cnt 1). Send the same sender's
+	// result three times: it must count once.
+	dup := wire.EncodeResult(wire.Result{
+		Key: core.QueryKey{Org: 0, Cnt: 1}, From: 7,
+		Tuples: []tuple.Tuple{{X: 1, Y: 1, Attrs: []float64{1, 1}}},
+	})
+	for i := 0; i < 3; i++ {
+		if err := wire.WriteFrame(conn, dup); err != nil {
+			t.Fatalf("write dup %d: %v", i, err)
+		}
+	}
+
+	res := <-resCh
+	if res.Complete {
+		t.Errorf("duplicated result frames completed a 2-result quorum")
+	}
+	if res.Results != 1 {
+		t.Errorf("unique results = %d, want 1", res.Results)
+	}
+	if got := reg.Snapshot().Counters["tcp_dup_results_total"]; got != 2 {
+		t.Errorf("tcp_dup_results_total = %d, want 2", got)
+	}
+}
+
+// TestDistinctSendersCompleteQuorumDespiteDuplicates is the positive half:
+// duplicates are ignored, distinct senders still complete the query.
+func TestDistinctSendersCompleteQuorumDespiteDuplicates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueryTimeout = 2 * time.Second
+	dir := NewDirectory()
+	p, err := NewPeer(0, nil, tuple.NewSchema(2, 0, 10), core.Under, true, tuple.Point{}, dir, cfg)
+	if err != nil {
+		t.Fatalf("NewPeer: %v", err)
+	}
+	defer p.Close()
+
+	resCh := make(chan QueryResult, 1)
+	go func() {
+		r, _ := p.Query(core.Unconstrained(), 3)
+		resCh <- r
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	key := core.QueryKey{Org: 0, Cnt: 1}
+	for _, from := range []core.DeviceID{7, 7, 8} {
+		f := wire.EncodeResult(wire.Result{Key: key, From: from})
+		if err := wire.WriteFrame(conn, f); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	res := <-resCh
+	if !res.Complete || res.Results != 2 {
+		t.Errorf("Complete=%v Results=%d, want true 2", res.Complete, res.Results)
+	}
+}
+
+// TestCorruptedFrameCountedNotSwallowed sends a truncated query body and an
+// unknown-kind frame: both must be visible in the tcp_decode_failures /
+// tcp_frames_dropped counters instead of vanishing silently.
+func TestCorruptedFrameCountedNotSwallowed(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.Registry = reg
+	var logged []string
+	var logMu sync.Mutex
+	cfg.Logf = func(format string, args ...any) {
+		logMu.Lock()
+		logged = append(logged, format)
+		logMu.Unlock()
+	}
+	dir := NewDirectory()
+	p, err := NewPeer(0, nil, tuple.NewSchema(2, 0, 10), core.Under, true, tuple.Point{}, dir, cfg)
+	if err != nil {
+		t.Fatalf("NewPeer: %v", err)
+	}
+	defer p.Close()
+
+	// Unknown kind: frame skipped, connection stays up.
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, []byte{0xEE, 1, 2, 3}); err != nil {
+		t.Fatalf("write unknown kind: %v", err)
+	}
+	// Corrupted query: kind byte says query, body truncated → decode fails
+	// and the peer closes the connection.
+	if err := wire.WriteFrame(conn, []byte{byte(wire.KindQuery), 0x01}); err != nil {
+		t.Fatalf("write corrupt frame: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		snap := reg.Snapshot()
+		if snap.Counters["tcp_decode_failures_total"] >= 1 &&
+			snap.Counters["tcp_frames_dropped_total"] >= 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["tcp_decode_failures_total"]; got != 1 {
+		t.Errorf("tcp_decode_failures_total = %d, want 1", got)
+	}
+	if got := snap.Counters["tcp_frames_dropped_total"]; got != 1 {
+		t.Errorf("tcp_frames_dropped_total = %d, want 1", got)
+	}
+	// The close reason was logged, not swallowed.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := wire.ReadFrame(conn); err == nil {
+		t.Errorf("peer should close the connection after a decode failure")
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	if len(logged) == 0 {
+		t.Errorf("decode failure should be logged via Config.Logf")
+	}
+}
+
+// TestPeerCloseLeaksNothing is the goroutine-leak gate over the supervised
+// runtime: accept/serve/writer/heartbeat loops must all exit on Close,
+// including with frames still queued to an unreachable neighbour.
+func TestPeerCloseLeaksNothing(t *testing.T) {
+	defer leaktest.Check(t)()
+	cfg := DefaultConfig()
+	cfg.QueryTimeout = 300 * time.Millisecond
+	cfg.LeaseTTL = 200 * time.Millisecond
+	peers, _, cleanup := buildPeers(t, cfg, 800, 2, 2, 21)
+	// A neighbour that is registered but unreachable keeps a writer in its
+	// dial-backoff loop until Close.
+	dead := core.DeviceID(99)
+	peers[0].dir.Register(dead, "127.0.0.1:1")
+	peers[0].AddNeighbor(dead)
+	if _, err := peers[0].Query(400, len(peers)); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	cleanup()
 }
 
 func TestSinglePeerQuery(t *testing.T) {
