@@ -5,6 +5,12 @@
 // Usage:
 //
 //	skysim -grid 5 -n 50000 -dim 2 -dist IN -d 250 -strategy BF -time 7200
+//
+// With -nodes it instead runs the large-scale preset (constant-density
+// geometry, compact mobility, flood-installed routes, per-link queues) and
+// reports simulator throughput and memory:
+//
+//	skysim -nodes 30000 -strategy BF
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"io"
 	"os"
 
+	"manetskyline/internal/bench"
 	"manetskyline/internal/core"
 	"manetskyline/internal/faults"
 	"manetskyline/internal/gen"
@@ -56,12 +63,35 @@ func run() error {
 		ackTO      = flag.Float64("acktimeout", 5, "DF neighbour acknowledgement timeout")
 		subtreeTO  = flag.Float64("subtreetimeout", 300, "DF child subtree result timeout")
 		seed       = flag.Int64("seed", 1, "random seed")
+		nodes      = flag.Int("nodes", 0, "run the large-scale preset with this many devices (ignores most other flags)")
+		scaleTime  = flag.Float64("scaletime", 0, "simulated seconds for the -nodes preset (0 = preset default)")
+		scaleOrig  = flag.Int("originators", 0, "query issuers for the -nodes preset (0 = preset default)")
 		trace      = flag.String("trace", "", "write a JSONL event trace to this file")
 		metrics    = flag.String("metrics", "", `dump Prometheus-format metrics to this file ("-" for stdout)`)
 		spansOut   = flag.String("spans", "", `write per-query span timelines as JSON to this file ("-" for stdout)`)
 		verbose    = flag.Bool("v", false, "print per-query metrics")
 	)
 	flag.Parse()
+
+	if *nodes > 0 {
+		cfg := bench.LargeConfig{
+			Nodes:       *nodes,
+			SimTime:     *scaleTime,
+			Originators: *scaleOrig,
+			Seed:        *seed,
+		}
+		switch *strategy {
+		case "BF":
+			cfg.Strategy = manet.BreadthFirst
+		case "DF":
+			cfg.Strategy = manet.DepthFirst
+		default:
+			return fmt.Errorf("unknown strategy %q", *strategy)
+		}
+		fmt.Printf("scale preset: %d nodes requested, %v forwarding\n\n", *nodes, cfg.Strategy)
+		fmt.Print(bench.RunLarge(cfg).Report())
+		return nil
+	}
 
 	p := manet.DefaultParams()
 	p.Grid = *grid

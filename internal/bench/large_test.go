@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"manetskyline/internal/manet"
+)
+
+func TestScenarioLargeGeometry(t *testing.T) {
+	p := ScenarioLarge(LargeConfig{Nodes: 1000, Strategy: manet.BreadthFirst})
+	if p.Grid != 32 || p.NumDevices() != 1024 {
+		t.Fatalf("1000 nodes → grid %d (%d devices), want 32 (1024)", p.Grid, p.NumDevices())
+	}
+	if p.Space != largeCellSide*32 {
+		t.Fatalf("space %g, want %g", p.Space, largeCellSide*32)
+	}
+	if p.Mobility.Space != p.Space {
+		t.Fatalf("mobility space %g diverges from field %g", p.Mobility.Space, p.Space)
+	}
+	if !p.CompactMobility || !p.FloodRoutes || p.Radio.LinkQueue <= 0 {
+		t.Fatal("scale knobs not engaged")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid params: %v", err)
+	}
+}
+
+func TestRunLargeSmall(t *testing.T) {
+	for _, s := range []manet.Forwarding{manet.BreadthFirst, manet.DepthFirst} {
+		r := RunLarge(LargeConfig{Nodes: 400, Strategy: s, SimTime: 120})
+		if r.Devices != 400 {
+			t.Fatalf("%v: devices %d, want 400", s, r.Devices)
+		}
+		if r.Events == 0 || r.EventsPerSec <= 0 {
+			t.Fatalf("%v: no events executed (%+v)", s, r)
+		}
+		if r.Queries == 0 || r.Completed == 0 {
+			t.Fatalf("%v: queries %d completed %d — scale scenario inert", s, r.Queries, r.Completed)
+		}
+		if r.FramesSent == 0 {
+			t.Fatalf("%v: radio idle", s)
+		}
+		if r.Report() == "" {
+			t.Fatalf("%v: empty report", s)
+		}
+	}
+}
+
+// TestScaleSmoke30k is the CI scale gate: a 30k-node breadth-first run must
+// finish inside the job's time budget and sustain a minimum event
+// throughput. Gated behind SCALE_SMOKE=1 so routine `go test ./...` stays
+// fast.
+func TestScaleSmoke30k(t *testing.T) {
+	if os.Getenv("SCALE_SMOKE") == "" {
+		t.Skip("set SCALE_SMOKE=1 to run the 30k-node smoke test")
+	}
+	r := RunLarge(LargeConfig{Nodes: 30000, Strategy: manet.BreadthFirst, SimTime: 300})
+	t.Logf("\n%s", r.Report())
+	if r.Devices < 30000 {
+		t.Fatalf("devices %d < 30000", r.Devices)
+	}
+	if r.Completed == 0 {
+		t.Fatal("no queries completed at 30k nodes")
+	}
+	// Throughput floor: the struct-of-arrays engine clears well over a
+	// million events/sec on developer hardware; 200k/sec catches an
+	// order-of-magnitude regression without flaking on slow CI runners.
+	if r.EventsPerSec < 200_000 {
+		t.Fatalf("throughput %.0f events/sec below the 200k floor", r.EventsPerSec)
+	}
+}

@@ -55,6 +55,17 @@ type dfState struct {
 	// the resumed walk, so a generation guard cannot protect the retry timer)
 }
 
+// bfFlood broadcasts one hop of a BF query flood. With Params.FloodRoutes,
+// the flood frame carries the originator and hop count so receivers install
+// reverse routes for their result returns (see aodv.BroadcastLocalRouted);
+// otherwise it is a plain local broadcast, as in the paper.
+func (n *node) bfFlood(msg *queryMsg) int {
+	if n.sc.p.FloodRoutes {
+		return n.sc.net.BroadcastLocalRouted(n.id, radio.NodeID(msg.Q.Org), msg.Hops, msg)
+	}
+	return n.sc.net.BroadcastLocal(n.id, msg)
+}
+
 // maybeIssue fires at a scheduled issue time; a device with a query in
 // progress skips the opportunity.
 func (n *node) maybeIssue() {
@@ -164,7 +175,7 @@ func (n *node) bfStart(q core.Query, res localsky.Result) {
 		n.finishQuery(q.Key(), st.merged)
 		return
 	}
-	n.sc.countQueryMessages(q.Key(), n.sc.net.BroadcastLocal(n.id, &queryMsg{Q: q, Hops: 1}))
+	n.sc.countQueryMessages(q.Key(), n.bfFlood(&queryMsg{Q: q, Hops: 1}))
 	n.bfScheduleRetry(q.Key(), st)
 }
 
@@ -183,8 +194,7 @@ func (n *node) bfScheduleRetry(key core.QueryKey, st *bfOrigState) {
 		}
 		st.attempts++
 		n.recordRetry(key, st.attempts)
-		n.sc.countQueryMessages(key,
-			n.sc.net.BroadcastLocal(n.id, &queryMsg{Q: st.q, Hops: 1}))
+		n.sc.countQueryMessages(key, n.bfFlood(&queryMsg{Q: st.q, Hops: 1}))
 		n.bfScheduleRetry(key, st)
 	})
 }
@@ -211,7 +221,7 @@ func (n *node) bfHandleQuery(msg *queryMsg) {
 		})
 		// Keep flooding with the (possibly upgraded) filter.
 		n.sc.countQueryMessages(q.Key(),
-			n.sc.net.BroadcastLocal(n.id, &queryMsg{Q: core.Forwardable(q, res), Hops: msg.Hops + 1}))
+			n.bfFlood(&queryMsg{Q: core.Forwardable(q, res), Hops: msg.Hops + 1}))
 	})
 }
 

@@ -50,7 +50,8 @@ func (sc *scenario) scheduleRedistribution() {
 
 // redistributeOnce performs at most one hand-off per holding device.
 func (sc *scenario) redistributeOnce() {
-	for _, n := range sc.nodes {
+	for ni := range sc.nodes {
+		n := &sc.nodes[ni]
 		if len(n.tuples) == 0 {
 			continue
 		}
@@ -58,10 +59,11 @@ func (sc *scenario) redistributeOnce() {
 		own := sc.med.PosOf(n.id).Dist(center)
 		best := n
 		bestDist := own
-		for _, m := range sc.nodes {
-			if m == n {
+		for mi := range sc.nodes {
+			if mi == ni {
 				continue
 			}
+			m := &sc.nodes[mi]
 			if d := sc.med.PosOf(m.id).Dist(center); d < bestDist {
 				best = m
 				bestDist = d

@@ -1,0 +1,85 @@
+package manet
+
+import "testing"
+
+// TestScaleKnobs runs a moderate scenario with every scale gate open —
+// capped originators, struct-of-arrays mobility, and route-installing
+// floods — and checks the system still answers queries.
+func TestScaleKnobs(t *testing.T) {
+	p := DefaultParams()
+	p.Grid = 6
+	p.GlobalN = 3000
+	p.SimTime = 1200
+	p.MinQueries, p.MaxQueries = 1, 1
+	p.Originators = 5
+	p.CompactMobility = true
+	p.FloodRoutes = true
+	p.QueryDeadline = 300
+	p.Seed = 4
+
+	out := Run(p)
+	if len(out.Queries) == 0 {
+		t.Fatal("no queries issued")
+	}
+	if len(out.Queries) > p.Originators {
+		t.Fatalf("%d queries from %d originators", len(out.Queries), p.Originators)
+	}
+	done := 0
+	for _, q := range out.Queries {
+		if q.Done {
+			done++
+		}
+	}
+	if done == 0 {
+		t.Fatalf("none of %d queries completed", len(out.Queries))
+	}
+	if out.Radio.FramesSent == 0 || out.Aodv.DataDelivered == 0 {
+		t.Fatalf("substrate idle: radio=%+v aodv=%+v", out.Radio, out.Aodv)
+	}
+}
+
+// TestScaleKnobsValidation pins the Originators bounds check.
+func TestScaleKnobsValidation(t *testing.T) {
+	p := DefaultParams()
+	p.Originators = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative originators should fail validation")
+	}
+	p.Originators = p.NumDevices() + 1
+	if err := p.Validate(); err == nil {
+		t.Error("originators above device count should fail validation")
+	}
+	p.Originators = p.NumDevices()
+	if err := p.Validate(); err != nil {
+		t.Errorf("originators == device count should validate: %v", err)
+	}
+}
+
+// TestFloodRoutesInstallReverseRoutes checks the piggybacked route
+// installation end to end: under FloodRoutes, a BF flood must leave the
+// non-originator devices holding routes back to the originator.
+func TestFloodRoutesInstallReverseRoutes(t *testing.T) {
+	p := DefaultParams()
+	p.Grid = 3
+	p.GlobalN = 500
+	p.SimTime = 600
+	p.MinQueries, p.MaxQueries = 1, 1
+	p.Originators = 1
+	p.FloodRoutes = true
+	p.Static = true
+	p.Radio.Range = 600 // multi-hop over the 1000m field
+	p.Seed = 2
+
+	out := Run(p)
+	if len(out.Queries) != 1 {
+		t.Fatalf("want 1 query, got %d", len(out.Queries))
+	}
+	if !out.Queries[0].Done {
+		t.Fatal("query did not complete")
+	}
+	// With the flood installing reverse routes, result returns need no
+	// discovery from the responding devices.
+	if out.Aodv.DataDelivered == 0 {
+		t.Fatal("no results delivered")
+	}
+}

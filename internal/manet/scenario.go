@@ -167,11 +167,15 @@ func (o *Outcome) MeanPrecision() (mean float64, ok bool) {
 
 // scenario wires the substrates together for one run.
 type scenario struct {
-	p       Params
-	eng     *sim.Engine
-	med     *radio.Medium
-	net     *aodv.Network
-	nodes   []*node
+	p   Params
+	eng *sim.Engine
+	med *radio.Medium
+	net *aodv.Network
+	// nodes is a value slice sized once at build: device bookkeeping lives
+	// in one contiguous allocation indexed by NodeID instead of m separate
+	// heap objects, which is what lets 30k-device scenarios fit in cache
+	// and the GC skip per-node tracing.
+	nodes   []node
 	metrics map[core.QueryKey]*QueryMetrics
 	order   []core.QueryKey
 	skipped int
@@ -209,8 +213,8 @@ func Run(p Params) *Outcome {
 	for _, k := range sc.order {
 		out.Queries = append(out.Queries, sc.metrics[k])
 	}
-	for _, n := range sc.nodes {
-		out.DeviceTuples = append(out.DeviceTuples, n.tuples)
+	for i := range sc.nodes {
+		out.DeviceTuples = append(out.DeviceTuples, sc.nodes[i].tuples)
 	}
 	out.Spans = sc.spans.Spans()
 	if sc.inj != nil {
@@ -225,7 +229,19 @@ func Run(p Params) *Outcome {
 // build constructs the devices, network, and query schedule.
 func build(p Params) *scenario {
 	eng := sim.NewEngine(p.Seed)
-	med := radio.New(eng, p.Radio)
+	// Declare the mobility speed bound to the radio's spatial grid unless
+	// the caller pinned one: static scenarios build the grid once, mobile
+	// ones rebuild only when accumulated drift could change a cell. Neighbor
+	// sets are exact in every mode, so this never perturbs a run.
+	rcfg := p.Radio
+	if rcfg.MaxSpeed == 0 {
+		if p.Static {
+			rcfg.MaxSpeed = -1
+		} else {
+			rcfg.MaxSpeed = p.Mobility.SpeedMax
+		}
+	}
+	med := radio.New(eng, rcfg)
 	net := aodv.New(eng, med, p.Aodv)
 	sc := &scenario{
 		p:       p,
@@ -280,7 +296,12 @@ func build(p Params) *scenario {
 	parts := gen.OverlapPartition(data, p.Grid, p.Space, p.Overlap, p.Seed+1)
 	schema := dcfg.Schema()
 
+	var field *mobility.Field
+	if p.CompactMobility && !p.Static {
+		field = mobility.NewField(p.Mobility)
+	}
 	rng := eng.RNG()
+	sc.nodes = make([]node, len(parts))
 	for i, part := range parts {
 		dev := core.NewDevice(core.DeviceID(i), part, schema, p.Mode, p.Dynamic)
 		dev.OverFactor = p.OverFactor
@@ -295,15 +316,21 @@ func build(p Params) *scenario {
 			start = tuple.Point{X: rng.Float64() * p.Space, Y: rng.Float64() * p.Space}
 		}
 		var mob mobility.Model
-		if p.Static {
+		switch {
+		case p.Static:
 			mob = mobility.Static(start)
-		} else {
+		case field != nil:
+			field.Add(start, p.Seed+int64(i)*7919)
+			mob = field.Model(i)
+		default:
 			mob = mobility.NewWaypointAt(p.Mobility, start, p.Seed+int64(i)*7919)
 		}
 
-		n := &node{sc: sc, dev: dev, tuples: part}
+		n := &sc.nodes[i]
+		n.sc = sc
+		n.dev = dev
+		n.tuples = part
 		n.id = net.AddNode(mob, n.onData, n.onLocal)
-		sc.nodes = append(sc.nodes, n)
 	}
 
 	if p.Redistribute {
@@ -312,9 +339,15 @@ func build(p Params) *scenario {
 
 	// Query schedule: each device issues Min..Max queries at random times
 	// in the first 90% of the simulation, skipping issues while a query is
-	// in progress.
-	for _, n := range sc.nodes {
-		n := n
+	// in progress. Params.Originators caps how many devices draw schedules
+	// at all — the scale sweeps' way of measuring a handful of queries over
+	// a 30k-device substrate.
+	issuers := len(sc.nodes)
+	if p.Originators > 0 && p.Originators < issuers {
+		issuers = p.Originators
+	}
+	for ni := 0; ni < issuers; ni++ {
+		n := &sc.nodes[ni]
 		k := p.MinQueries
 		if p.MaxQueries > p.MinQueries {
 			k += rng.Intn(p.MaxQueries - p.MinQueries + 1)

@@ -1,0 +1,136 @@
+package mobility
+
+import (
+	"testing"
+
+	"manetskyline/internal/tuple"
+)
+
+func TestFieldStaysInBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	f := NewField(cfg)
+	for i := 0; i < 32; i++ {
+		f.AddRandom(int64(i + 1))
+	}
+	for i := 0; i < f.Len(); i++ {
+		for ti := 0; ti <= 7200; ti += 7 {
+			p := f.Pos(i, float64(ti))
+			if p.X < 0 || p.X > cfg.Space || p.Y < 0 || p.Y > cfg.Space {
+				t.Fatalf("node %d at t=%d outside area: %v", i, ti, p)
+			}
+		}
+	}
+}
+
+func TestFieldContinuityAndSpeedBound(t *testing.T) {
+	cfg := DefaultConfig()
+	f := NewField(cfg)
+	f.Add(tuple.Point{X: 500, Y: 500}, 77)
+	prev := f.Pos(0, 0)
+	for ti := 0.25; ti < 7200; ti += 0.25 {
+		cur := f.Pos(0, ti)
+		if d := prev.Dist(cur); d > cfg.SpeedMax*0.25+1e-9 {
+			t.Fatalf("discontinuity at t=%v: moved %v in 0.25s", ti, d)
+		}
+		prev = cur
+	}
+}
+
+func TestFieldDeterministic(t *testing.T) {
+	a, b := NewField(DefaultConfig()), NewField(DefaultConfig())
+	a.Add(tuple.Point{X: 10, Y: 20}, 5)
+	b.Add(tuple.Point{X: 10, Y: 20}, 5)
+	for ti := 0.0; ti < 2000; ti += 13 {
+		if a.Pos(0, ti) != b.Pos(0, ti) {
+			t.Fatalf("same seed diverged at t=%v", ti)
+		}
+	}
+	c := NewField(DefaultConfig())
+	c.Add(tuple.Point{X: 10, Y: 20}, 6)
+	diverged := false
+	for ti := 0.0; ti < 2000; ti += 13 {
+		if a.Pos(0, ti) != c.Pos(0, ti) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Errorf("different seeds gave identical trajectories")
+	}
+}
+
+func TestFieldForwardOnlyClamp(t *testing.T) {
+	f := NewField(DefaultConfig())
+	f.Add(tuple.Point{X: 1, Y: 2}, 3)
+	if f.Pos(0, 0) != (tuple.Point{X: 1, Y: 2}) {
+		t.Fatalf("Pos(0) != start")
+	}
+	f.Pos(0, 5000) // advance far ahead, discarding old legs
+	n := &f.nodes[0]
+	if got := f.Pos(0, n.t0-100); got != (tuple.Point{X: n.fromX, Y: n.fromY}) {
+		t.Errorf("past query should clamp to current leg start, got %v", got)
+	}
+}
+
+func TestFieldModelAdapter(t *testing.T) {
+	f := NewField(DefaultConfig())
+	i := f.AddRandom(9)
+	var m Model = f.Model(i)
+	if m.Pos(42) != f.Pos(i, 42) {
+		t.Errorf("adapter disagrees with direct access")
+	}
+}
+
+// BenchmarkWaypointPos shows what the leg memo buys. "stationary" queries a
+// pausing node at one instant — the pre-memo code re-ran the covering-leg
+// scan and re-derived the direction vector every call; "crawl" advances in
+// tiny steps within one leg (the radio medium's per-timestep refresh
+// pattern); "sweep" jumps whole legs and pays the search path.
+func BenchmarkWaypointPos(b *testing.B) {
+	b.Run("stationary", func(b *testing.B) {
+		w := NewWaypoint(DefaultConfig(), 41)
+		// Park the query inside the first pause window.
+		t0 := w.legs[0].moveEnd + 1
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = w.Pos(t0)
+		}
+	})
+	b.Run("crawl", func(b *testing.B) {
+		w := NewWaypoint(DefaultConfig(), 41)
+		b.ReportAllocs()
+		t := 0.0
+		for i := 0; i < b.N; i++ {
+			t += 0.001
+			if t > 7200 {
+				t = 0.001
+			}
+			_ = w.Pos(t)
+		}
+	})
+	b.Run("sweep", func(b *testing.B) {
+		w := NewWaypoint(DefaultConfig(), 41)
+		w.Pos(7200) // materialize the horizon once
+		b.ReportAllocs()
+		t := 0.0
+		for i := 0; i < b.N; i++ {
+			t += 173 // ≫ leg length: defeats the memo, exercises the search
+			if t > 7200 {
+				t = 0.5
+			}
+			_ = w.Pos(t)
+		}
+	})
+}
+
+// BenchmarkFieldPos is the SoA counterpart of BenchmarkWaypointPos/crawl.
+func BenchmarkFieldPos(b *testing.B) {
+	f := NewField(DefaultConfig())
+	f.AddRandom(41)
+	b.ReportAllocs()
+	t := 0.0
+	for i := 0; i < b.N; i++ {
+		t += 0.001
+		_ = f.Pos(0, t)
+	}
+}

@@ -65,6 +65,14 @@ type Waypoint struct {
 	rng  *rand.Rand
 	legs []leg // materialized prefix of the trajectory
 	cur  int   // last-hit leg index; simulation queries are near-monotonic
+
+	// Memo of legs[cur] with its direction vector: the covering-leg test
+	// and the interpolation read these flat fields, so repeated queries on
+	// one leg — a node pausing at a waypoint, or barely moving between
+	// engine timesteps — touch no slice element and recompute no deltas.
+	// Legs are append-only, so the memo is invalidated only when cur moves.
+	memo   leg
+	dx, dy float64
 }
 
 // leg covers [t0, t1): movement from a to b, then a pause until t1.
@@ -83,6 +91,7 @@ func NewWaypoint(cfg Config, seed int64) *Waypoint {
 	w := &Waypoint{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
 	start := w.randPoint()
 	w.legs = append(w.legs, w.nextLeg(0, start))
+	w.setCur(0)
 	return w
 }
 
@@ -94,7 +103,19 @@ func NewWaypointAt(cfg Config, start tuple.Point, seed int64) *Waypoint {
 	}
 	w := &Waypoint{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
 	w.legs = append(w.legs, w.nextLeg(0, start))
+	w.setCur(0)
 	return w
+}
+
+// setCur moves the leg cursor and refreshes the memoized leg and its
+// direction vector. The deltas are the same expressions Pos used to
+// evaluate inline, so interpolated positions stay bit-identical.
+func (w *Waypoint) setCur(i int) {
+	w.cur = i
+	l := w.legs[i]
+	w.memo = l
+	w.dx = l.to.X - l.from.X
+	w.dy = l.to.Y - l.from.Y
 }
 
 func (w *Waypoint) randPoint() tuple.Point {
@@ -125,6 +146,13 @@ func (w *Waypoint) Pos(t float64) tuple.Point {
 	if t <= 0 {
 		return w.legs[0].from
 	}
+	// Fast path: the memoized leg still covers t (consecutive legs share
+	// their boundary time exactly, so t0 < t ≤ t1 is the covers() test on
+	// flat fields). A node pausing at a waypoint returns straight from the
+	// memo; a moving node reuses the memoized direction vector.
+	if t > w.memo.t0 && t <= w.memo.t1 {
+		return w.interp(t)
+	}
 	// Extend the trajectory to cover t.
 	for w.legs[len(w.legs)-1].t1 < t {
 		last := w.legs[len(w.legs)-1]
@@ -153,14 +181,21 @@ func (w *Waypoint) Pos(t float64) tuple.Point {
 			i = lo
 		}
 	}
-	w.cur = i
-	l := w.legs[i]
-	if t >= l.moveEnd {
-		return l.to // pausing
+	w.setCur(i)
+	return w.interp(t)
+}
+
+// interp evaluates the memoized leg at time t: the destination during the
+// pause, linear interpolation with the memoized direction vector while
+// moving. The arithmetic matches the pre-memo implementation operation for
+// operation, keeping trajectories bit-identical.
+func (w *Waypoint) interp(t float64) tuple.Point {
+	if t >= w.memo.moveEnd {
+		return w.memo.to // pausing
 	}
-	frac := (t - l.t0) / (l.moveEnd - l.t0)
+	frac := (t - w.memo.t0) / (w.memo.moveEnd - w.memo.t0)
 	return tuple.Point{
-		X: l.from.X + frac*(l.to.X-l.from.X),
-		Y: l.from.Y + frac*(l.to.Y-l.from.Y),
+		X: w.memo.from.X + frac*w.dx,
+		Y: w.memo.from.Y + frac*w.dy,
 	}
 }

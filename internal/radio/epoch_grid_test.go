@@ -1,0 +1,185 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"manetskyline/internal/mobility"
+	"manetskyline/internal/sim"
+	"manetskyline/internal/tuple"
+)
+
+// linearModel moves in a straight line forever: position is an exact
+// function of time, so boundary crossings happen at precisely computable
+// instants.
+type linearModel struct{ x0, y0, vx, vy float64 }
+
+func (m linearModel) Pos(t float64) tuple.Point {
+	return tuple.Point{X: m.x0 + m.vx*t, Y: m.y0 + m.vy*t}
+}
+
+// teleportModel holds a mutable position: the churn test reassigns it
+// between ticks to model nodes that jump arbitrarily far with no speed
+// bound.
+type teleportModel struct{ p tuple.Point }
+
+func (m *teleportModel) Pos(float64) tuple.Point { return m.p }
+
+// TestEpochGridMatchesBruteForce is the property test for the epoch grid
+// under a declared speed bound: random waypoint motion, probe times chosen
+// so that most probes land *between* rebuilds — exercising stale buckets,
+// the expanded probe ring, and incremental cell migration — and every
+// probe must still return exactly the brute-force neighbor set, same IDs,
+// same order.
+func TestEpochGridMatchesBruteForce(t *testing.T) {
+	for _, tc := range []struct {
+		nodes int
+		rng   float64
+	}{
+		{9, 380}, {49, 380},
+		{9, 100}, {49, 100}, {100, 100}, {100, 60},
+	} {
+		t.Run(fmt.Sprintf("nodes=%d/range=%g", tc.nodes, tc.rng), func(t *testing.T) {
+			eng := sim.NewEngine(3)
+			cfg := DefaultConfig()
+			cfg.Range = tc.rng
+			mcfg := mobility.DefaultConfig()
+			cfg.MaxSpeed = mcfg.SpeedMax // bounded-motion epoch mode
+			med := New(eng, cfg)
+			for i := 0; i < tc.nodes; i++ {
+				med.AddNode(mobility.NewWaypoint(mcfg, int64(i+1)), func(NodeID, Payload) {})
+			}
+			r := rand.New(rand.NewSource(17))
+			now := 0.0
+			rebuilds := 0
+			lastEpoch := -1.0
+			for step := 0; step < 120; step++ {
+				// Small steps relative to side/maxSpeed keep several probe
+				// instants inside each epoch window.
+				now += r.Float64() * 2
+				eng.Run(now)
+				for id := NodeID(0); id < NodeID(tc.nodes); id++ {
+					got := med.Neighbors(id)
+					want := bruteNeighbors(med, id)
+					if !slices.Equal(got, want) {
+						t.Fatalf("t=%g node %d: grid %v != brute force %v",
+							now, id, got, want)
+					}
+				}
+				if med.grid.epoch != lastEpoch {
+					lastEpoch = med.grid.epoch
+					rebuilds++
+				}
+			}
+			// The point of the epoch grid: far fewer rebuilds than probe
+			// timesteps. If this fires, the grid fell back to per-timestep
+			// rebuilds and the test stopped exercising stale buckets.
+			if rebuilds >= 120 {
+				t.Fatalf("epoch grid rebuilt on every timestep (%d rebuilds)", rebuilds)
+			}
+		})
+	}
+}
+
+// TestEpochGridBoundaryCrossing pins incremental cell migration exactly at
+// cell boundaries: nodes ride straight lines that cross fine-cell edges at
+// known instants, and the probe set is checked just before, at, and just
+// after each crossing.
+func TestEpochGridBoundaryCrossing(t *testing.T) {
+	eng := sim.NewEngine(5)
+	cfg := DefaultConfig()
+	cfg.Range = 100
+	cfg.MaxSpeed = 10
+	med := New(eng, cfg)
+	// Node 0 starts just left of the x=100 cell edge and drifts right at
+	// 1 m/s: it crosses at t=5. The others sit still on both sides.
+	med.AddNode(linearModel{x0: 95, y0: 50, vx: 1}, func(NodeID, Payload) {})
+	med.AddNode(linearModel{x0: 30, y0: 50}, func(NodeID, Payload) {})
+	med.AddNode(linearModel{x0: 180, y0: 50}, func(NodeID, Payload) {})
+	med.AddNode(linearModel{x0: 205, y0: 150, vy: -1}, func(NodeID, Payload) {}) // crosses y=100 at t=50
+	for _, now := range []float64{0, 4.5, 5, 5.5, 20, 49.5, 50, 50.5, 80} {
+		eng.Run(now)
+		for id := NodeID(0); id < 4; id++ {
+			got := med.Neighbors(id)
+			want := bruteNeighbors(med, id)
+			if !slices.Equal(got, want) {
+				t.Fatalf("t=%g node %d: grid %v != brute force %v", now, id, got, want)
+			}
+		}
+	}
+}
+
+// TestEpochGridChurnTeleport is the churn test: every tick, 10% of the
+// nodes teleport to a uniformly random point — motion with no speed bound,
+// which is exactly the case MaxSpeed=0 (unknown) must stay exact for by
+// rebuilding whenever the clock moves.
+func TestEpochGridChurnTeleport(t *testing.T) {
+	const (
+		nodes = 200
+		space = 2000.0
+		ticks = 50
+	)
+	eng := sim.NewEngine(9)
+	cfg := DefaultConfig()
+	cfg.Range = 150
+	cfg.MaxSpeed = 0 // unknown motion: teleports allowed
+	med := New(eng, cfg)
+	r := rand.New(rand.NewSource(23))
+	models := make([]*teleportModel, nodes)
+	for i := range models {
+		models[i] = &teleportModel{p: tuple.Point{X: r.Float64() * space, Y: r.Float64() * space}}
+		med.AddNode(models[i], func(NodeID, Payload) {})
+	}
+	for tick := 1; tick <= ticks; tick++ {
+		// Teleport 10% of the fleet, then advance the clock so the medium
+		// sees the new positions as a fresh timestep.
+		for k := 0; k < nodes/10; k++ {
+			m := models[r.Intn(nodes)]
+			m.p = tuple.Point{X: r.Float64() * space, Y: r.Float64() * space}
+		}
+		eng.Run(float64(tick))
+		for id := NodeID(0); id < nodes; id++ {
+			got := med.Neighbors(id)
+			want := bruteNeighbors(med, id)
+			if !slices.Equal(got, want) {
+				t.Fatalf("tick %d node %d: grid %v != brute force %v", tick, id, got, want)
+			}
+		}
+	}
+}
+
+// TestEpochGridStatic checks the static declaration (MaxSpeed < 0): the
+// grid is built exactly once, and probes at later times still match brute
+// force because static positions never invalidate it.
+func TestEpochGridStatic(t *testing.T) {
+	eng := sim.NewEngine(11)
+	cfg := DefaultConfig()
+	cfg.Range = 120
+	cfg.MaxSpeed = -1
+	med := New(eng, cfg)
+	r := rand.New(rand.NewSource(31))
+	const nodes = 100
+	for i := 0; i < nodes; i++ {
+		med.AddNode(mobility.Static{X: r.Float64() * 1000, Y: r.Float64() * 1000},
+			func(NodeID, Payload) {})
+	}
+	var firstEpoch float64 = math.NaN()
+	for _, now := range []float64{0, 10, 100, 1000, 5000} {
+		eng.Run(now)
+		for id := NodeID(0); id < nodes; id++ {
+			got := med.Neighbors(id)
+			want := bruteNeighbors(med, id)
+			if !slices.Equal(got, want) {
+				t.Fatalf("t=%g node %d: grid %v != brute force %v", now, id, got, want)
+			}
+		}
+		if math.IsNaN(firstEpoch) {
+			firstEpoch = med.grid.epoch
+		} else if med.grid.epoch != firstEpoch {
+			t.Fatalf("static grid rebuilt: epoch %g -> %g", firstEpoch, med.grid.epoch)
+		}
+	}
+}

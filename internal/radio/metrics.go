@@ -23,6 +23,9 @@ type Metrics struct {
 	DropsLoss  *telemetry.Counter
 	// DropsFault counts frames removed by an attached fault injector.
 	DropsFault *telemetry.Counter
+	// DropsQueue counts frames dropped at a receiver's bounded link queue
+	// (per-link transmit modeling, Config.LinkQueue).
+	DropsQueue *telemetry.Counter
 	// NeighborQueries and NeighborScanned expose the spatial-grid query
 	// cost: probes issued and candidate nodes distance-checked.
 	NeighborQueries *telemetry.Counter
@@ -40,6 +43,7 @@ func NewMetrics(r *telemetry.Registry) Metrics {
 		DropsRange:      r.Counter("radio_drops_range_total", "frames lost to range/fading at delivery time"),
 		DropsLoss:       r.Counter("radio_drops_loss_total", "frames lost to the independent loss process"),
 		DropsFault:      r.Counter("radio_drops_fault_total", "frames removed by the fault injector"),
+		DropsQueue:      r.Counter("radio_drops_queue_total", "frames dropped at a bounded per-link send queue"),
 		NeighborQueries: r.Counter("radio_neighbor_queries_total", "neighbor-set probes against the spatial grid"),
 		NeighborScanned: r.Counter("radio_neighbor_scanned_total", "candidate nodes distance-checked by neighbor probes"),
 	}

@@ -6,19 +6,21 @@
 // are lost when the receiver moves out of range mid-flight or by an
 // independent loss probability that models contention and fading.
 //
-// Spatial queries run on a uniform hash grid with cell side equal to the
-// transmission range: a neighbor query probes only the 3×3 cell block
-// around the asking node instead of scanning every node. Node positions and
-// grid cells are lazily refreshed once per engine timestep (positions are a
-// pure function of simulated time, so every event at the same instant sees
-// the same memoized positions). Broadcast delivery is a single pooled event
-// that iterates its captured receiver list, keeping the steady-state
-// transmit path allocation-free.
+// Node state is struct-of-arrays: positions, busy horizons, handlers, and
+// grid cells live in flat slices indexed by NodeID rather than per-node
+// heap objects, so a 100k-node medium is a handful of large allocations
+// the garbage collector scans in O(arrays), not O(nodes).
+//
+// Spatial queries run on an epoch-rebuilt two-level grid (see grid.go)
+// whose probes are exact: a neighbor query touches only the cells a true
+// neighbor could occupy given the configured speed bound. In-flight frames
+// are free-listed delivery records referenced from compact scheduler
+// events (sim.Kind), so a 50k-receiver flood schedules fixed-size value
+// events instead of materializing closures per hop.
 package radio
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"slices"
 
@@ -80,6 +82,22 @@ type Config struct {
 	// it is just unreliable) — the gray-zone effect real 802.11 radios
 	// exhibit.
 	FadeMargin float64
+	// MaxSpeed declares the fastest any node moves, enabling epoch-based
+	// grid maintenance: 0 (the zero value) means unknown — the grid
+	// rebuilds whenever the clock moves, exact for arbitrary motion
+	// including teleports; > 0 is a bound in m/s — the grid rebuilds only
+	// when accumulated drift could exceed one cell and probes expand their
+	// ring to stay exact; < 0 declares all nodes static — the grid is
+	// built once and never again. Neighbor sets are identical in every
+	// mode; only the maintenance cost differs.
+	MaxSpeed float64
+	// LinkQueue, when positive, switches broadcast delivery to per-link
+	// transmit modeling: each receiver gets its own delivery event gated by
+	// a per-receiver busy horizon, and a frame whose queueing delay at a
+	// receiver would exceed LinkQueue airtimes is dropped (DroppedQueue) —
+	// the bounded send-queue behavior of real link layers. Zero keeps the
+	// legacy shared delivery event with no receiver-side contention.
+	LinkQueue int
 }
 
 // DefaultConfig returns 802.11b-like settings. The 380 m range matches the
@@ -113,6 +131,9 @@ func (c Config) Validate() error {
 	if c.FadeMargin < 0 || c.FadeMargin > 1 {
 		return fmt.Errorf("radio: fade margin %g outside [0,1]", c.FadeMargin)
 	}
+	if c.LinkQueue < 0 {
+		return fmt.Errorf("radio: negative link queue %d", c.LinkQueue)
+	}
 	return nil
 }
 
@@ -131,6 +152,9 @@ type Counters struct {
 	// DroppedFault counts frames removed by an attached fault injector
 	// (outages, severed links, partitions).
 	DroppedFault int
+	// DroppedQueue counts frames dropped at a receiver's bounded link
+	// queue (LinkQueue mode only).
+	DroppedQueue int
 	// DupedFrames counts duplicate deliveries a fault injector scheduled.
 	DupedFrames int
 	// BytesSent counts transmitted bytes including headers.
@@ -139,27 +163,30 @@ type Counters struct {
 
 // Medium is the shared wireless channel.
 type Medium struct {
-	eng   *sim.Engine
-	cfg   Config
-	nodes []node
-	rng   *rand.Rand
+	eng *sim.Engine
+	cfg Config
+	rng *rand.Rand
 
-	// Spatial grid over node positions, cell side = Range. A neighbor
-	// query probes the 3×3 block around the asking node's cell; cells are
-	// rebuilt lazily at most once per engine timestep. The grid is a dense
-	// array over the occupied cell bounding box — node fields are bounded
-	// (mobility spaces are), so this stays small and avoids hashing.
-	cells    []cell
-	gridMin  cellKey // cell coordinate of cells[0]
-	gridW    int32   // columns in the dense array
-	gridH    int32   // rows in the dense array
-	gridTime float64
-	gridOK   bool
-	scratch  []NodeID // candidate buffer for grid probes
+	// Node state, struct-of-arrays indexed by NodeID.
+	mobs      []mobility.Model
+	handlers  []Handler
+	busyUntil []float64 // transmit serialization horizon per sender
+	posAt     []float64 // engine time of the position memo; -1 = never
+	posX      []float64
+	posY      []float64
+	rxBusy    []float64 // receive horizon per receiver (LinkQueue mode)
+	nodeCell  []int32   // fine grid cell per node, maintained by grid.go
 
-	// free is the pool of delivery events; a delivery returns itself here
-	// after it runs, so steady-state transmission allocates nothing.
-	free []*delivery
+	grid    grid
+	scratch []int32 // candidate buffer for grid probes
+
+	// In-flight frames are free-listed records referenced by slot index
+	// from compact scheduler events, so steady-state transmission
+	// allocates nothing and the event queue carries no pointers.
+	deliverKind sim.Kind // a = slot: deliver to every captured receiver
+	linkKind    sim.Kind // a = slot, b = receiver: per-link delivery
+	inflight    []delivery
+	freeSlots   []uint32
 
 	// Counters is exported for metric collection; reset between scenarios
 	// if per-run deltas are needed.
@@ -172,34 +199,30 @@ type Medium struct {
 	faults FaultInjector
 }
 
-type node struct {
-	id        NodeID
-	mob       mobility.Model
-	handler   Handler
-	busyUntil float64
-
-	// Per-timestep position memo: positions are a pure function of the
-	// engine clock, so one event never recomputes the same node's position.
-	posAt float64
-	posOK bool
-	pos   tuple.Point
-	cell  cellKey // grid cell at the memoized position
+// delivery is one in-flight frame: the captured receiver list plus, in
+// LinkQueue mode, a reference count of per-link events still to fire.
+type delivery struct {
+	from NodeID
+	refs int32
+	to   []NodeID
+	p    Payload
 }
-
-type cellKey struct{ cx, cy int32 }
-
-type cell struct{ ids []NodeID }
 
 // New creates an empty medium on the given engine.
 func New(eng *sim.Engine, cfg Config) *Medium {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Medium{
+	m := &Medium{
 		eng: eng,
 		cfg: cfg,
 		rng: rand.New(rand.NewSource(eng.RNG().Int63())),
 	}
+	m.grid.side = cfg.Range
+	m.grid.maxSpeed = cfg.MaxSpeed
+	m.deliverKind = eng.RegisterKind(m.runDelivery)
+	m.linkKind = eng.RegisterKind(m.runLinkDelivery)
+	return m
 }
 
 // AddNode registers a node with its mobility model and frame handler and
@@ -208,29 +231,39 @@ func (m *Medium) AddNode(mob mobility.Model, h Handler) NodeID {
 	if h == nil {
 		panic("radio: nil handler")
 	}
-	id := NodeID(len(m.nodes))
-	m.nodes = append(m.nodes, node{id: id, mob: mob, handler: h})
-	m.gridOK = false
+	id := NodeID(len(m.mobs))
+	m.mobs = append(m.mobs, mob)
+	m.handlers = append(m.handlers, h)
+	m.busyUntil = append(m.busyUntil, 0)
+	m.posAt = append(m.posAt, -1)
+	m.posX = append(m.posX, 0)
+	m.posY = append(m.posY, 0)
+	m.rxBusy = append(m.rxBusy, 0)
+	m.grid.built = false
 	return id
 }
 
 // NumNodes returns the number of registered nodes.
-func (m *Medium) NumNodes() int { return len(m.nodes) }
+func (m *Medium) NumNodes() int { return len(m.mobs) }
 
-// posOf returns n's memoized position at the current engine time.
-func (m *Medium) posOf(n *node) tuple.Point {
-	now := m.eng.Now()
-	if !n.posOK || n.posAt != now {
-		n.pos = n.mob.Pos(now)
-		n.posAt = now
-		n.posOK = true
+// posOfIdx returns node i's memoized position at time now, refreshing the
+// memo (and migrating the node's grid cell under a declared speed bound)
+// when the clock has moved since the last refresh.
+func (m *Medium) posOfIdx(i int32, now float64) tuple.Point {
+	if m.posAt[i] != now {
+		p := m.mobs[i].Pos(now)
+		m.posX[i], m.posY[i] = p.X, p.Y
+		m.posAt[i] = now
+		if m.grid.built && m.grid.maxSpeed != 0 {
+			m.gridMigrate(i, p.X, p.Y)
+		}
 	}
-	return n.pos
+	return tuple.Point{X: m.posX[i], Y: m.posY[i]}
 }
 
 // PosOf returns a node's current position.
 func (m *Medium) PosOf(id NodeID) tuple.Point {
-	return m.posOf(&m.nodes[id])
+	return m.posOfIdx(int32(id), m.eng.Now())
 }
 
 // InRange reports whether two nodes can currently hear each other.
@@ -238,68 +271,8 @@ func (m *Medium) InRange(a, b NodeID) bool {
 	if a == b {
 		return false
 	}
-	return m.posOf(&m.nodes[a]).WithinDist(m.posOf(&m.nodes[b]), m.cfg.Range)
-}
-
-// cellOf maps a position to its grid cell (cell side = Range).
-func (m *Medium) cellOf(p tuple.Point) cellKey {
-	return cellKey{
-		cx: int32(math.Floor(p.X / m.cfg.Range)),
-		cy: int32(math.Floor(p.Y / m.cfg.Range)),
-	}
-}
-
-// refreshGrid rebuilds the spatial index for the current engine timestep if
-// it is stale: one pass memoizes every node's position and cell and tracks
-// the occupied cell bounding box, a second pass buckets the nodes. Nodes are
-// inserted in ID order, so every cell's list is ID-sorted; buckets keep
-// their capacity across rebuilds.
-func (m *Medium) refreshGrid() {
 	now := m.eng.Now()
-	if m.gridOK && m.gridTime == now {
-		return
-	}
-	if len(m.nodes) == 0 {
-		m.gridW, m.gridH = 0, 0
-		m.gridTime = now
-		m.gridOK = true
-		return
-	}
-	min := m.cellOf(m.posOf(&m.nodes[0]))
-	max := min
-	m.nodes[0].cell = min
-	for i := 1; i < len(m.nodes); i++ {
-		n := &m.nodes[i]
-		k := m.cellOf(m.posOf(n))
-		n.cell = k
-		if k.cx < min.cx {
-			min.cx = k.cx
-		} else if k.cx > max.cx {
-			max.cx = k.cx
-		}
-		if k.cy < min.cy {
-			min.cy = k.cy
-		} else if k.cy > max.cy {
-			max.cy = k.cy
-		}
-	}
-	m.gridMin = min
-	m.gridW = max.cx - min.cx + 1
-	m.gridH = max.cy - min.cy + 1
-	size := int(m.gridW) * int(m.gridH)
-	for len(m.cells) < size {
-		m.cells = append(m.cells, cell{})
-	}
-	for i := 0; i < size; i++ {
-		m.cells[i].ids = m.cells[i].ids[:0]
-	}
-	for i := range m.nodes {
-		k := m.nodes[i].cell
-		idx := int(k.cy-min.cy)*int(m.gridW) + int(k.cx-min.cx)
-		m.cells[idx].ids = append(m.cells[idx].ids, NodeID(i))
-	}
-	m.gridTime = now
-	m.gridOK = true
+	return m.posOfIdx(int32(a), now).WithinDist(m.posOfIdx(int32(b), now), m.cfg.Range)
 }
 
 // Neighbors returns the nodes currently within range of id, in ID order.
@@ -309,60 +282,48 @@ func (m *Medium) Neighbors(id NodeID) []NodeID {
 
 // NeighborsInto appends the nodes currently within range of id to buf[:0],
 // in ID order, and returns the result. Passing a reused buffer makes the
-// query allocation-free: only the 3×3 cell block around id is probed. When
-// the block covers every occupied cell — the norm at the paper's geometry,
-// where Range is a large fraction of the field — the probe degenerates to a
-// direct scan over the memoized positions, with no gather or re-sort.
+// query allocation-free: only the grid cells a true neighbor could occupy
+// are probed (see grid.go for the staleness ring). When the probe covers
+// every occupied cell — the norm at the paper's geometry, where Range is a
+// large fraction of the field — it degenerates to a direct scan over the
+// memoized positions, with no gather or re-sort.
 func (m *Medium) NeighborsInto(id NodeID, buf []NodeID) []NodeID {
 	buf = buf[:0]
 	m.met.NeighborQueries.Inc()
-	m.refreshGrid()
-	self := &m.nodes[id]
-	p := self.pos // memoized by refreshGrid
-	ck := self.cell
-	// Clip the 3×3 block to the occupied bounding box (local coordinates).
-	bx0, bx1 := ck.cx-1-m.gridMin.cx, ck.cx+1-m.gridMin.cx
-	by0, by1 := ck.cy-1-m.gridMin.cy, ck.cy+1-m.gridMin.cy
-	if bx0 < 0 {
-		bx0 = 0
+	now := m.eng.Now()
+	m.gridEnsure(now)
+	p := m.posOfIdx(int32(id), now)
+	// Under a positive speed bound, grid entries may be up to
+	// maxSpeed·(now−epoch) stale; expanding the probe ring by that much
+	// keeps the result exact (candidates are re-checked at true positions).
+	radius := m.cfg.Range
+	if ms := m.grid.maxSpeed; ms > 0 {
+		radius += ms * (now - m.grid.epoch)
 	}
-	if by0 < 0 {
-		by0 = 0
-	}
-	if bx1 >= m.gridW {
-		bx1 = m.gridW - 1
-	}
-	if by1 >= m.gridH {
-		by1 = m.gridH - 1
-	}
-	if bx0 == 0 && by0 == 0 && bx1 == m.gridW-1 && by1 == m.gridH-1 {
+	cand, full := m.gridGather(p, radius)
+	if full {
 		// Full coverage: every node is a candidate, already in ID order.
-		m.met.NeighborScanned.Add(int64(len(m.nodes) - 1))
-		for i := range m.nodes {
-			n := &m.nodes[i]
-			if n.id != id && p.WithinDist(n.pos, m.cfg.Range) {
-				buf = append(buf, n.id)
+		m.met.NeighborScanned.Add(int64(len(m.mobs) - 1))
+		for i := range m.mobs {
+			if NodeID(i) == id {
+				continue
+			}
+			if p.WithinDist(m.posOfIdx(int32(i), now), m.cfg.Range) {
+				buf = append(buf, NodeID(i))
 			}
 		}
 		return buf
-	}
-	cand := m.scratch[:0]
-	for cy := by0; cy <= by1; cy++ {
-		row := int(cy) * int(m.gridW)
-		for cx := bx0; cx <= bx1; cx++ {
-			cand = append(cand, m.cells[row+int(cx)].ids...)
-		}
 	}
 	// Cells are visited in block order, so candidates must be re-sorted to
 	// restore the global ID order the brute-force scan produced.
 	m.met.NeighborScanned.Add(int64(len(cand)))
 	slices.Sort(cand)
-	for _, nid := range cand {
-		if nid == id {
+	for _, ni := range cand {
+		if NodeID(ni) == id {
 			continue
 		}
-		if p.WithinDist(m.nodes[nid].pos, m.cfg.Range) {
-			buf = append(buf, nid)
+		if p.WithinDist(m.posOfIdx(ni, now), m.cfg.Range) {
+			buf = append(buf, NodeID(ni))
 		}
 	}
 	m.scratch = cand[:0]
@@ -371,51 +332,70 @@ func (m *Medium) NeighborsInto(id NodeID, buf []NodeID) []NodeID {
 
 // txDelay computes the serialized transmission start and airtime for one
 // frame from the given node, advancing the node's busy horizon.
-func (m *Medium) txDelay(from *node, sizeBytes int) (start, airtime float64) {
+func (m *Medium) txDelay(from NodeID, sizeBytes int) (start, airtime float64) {
 	bits := float64(sizeBytes+m.cfg.HeaderBytes) * 8
 	airtime = bits / m.cfg.Bandwidth
 	start = m.eng.Now()
-	if from.busyUntil > start {
-		start = from.busyUntil
+	if bu := m.busyUntil[from]; bu > start {
+		start = bu
 	}
-	from.busyUntil = start + airtime
+	m.busyUntil[from] = start + airtime
 	return start, airtime
 }
 
-// delivery is a pooled in-flight frame: one scheduled event that, at
-// delivery time, applies the range/fade/loss processes to each addressed
-// receiver in ID order — the exact per-receiver order the former
-// one-event-per-receiver scheme produced, so RNG draws are unchanged.
-type delivery struct {
-	m    *Medium
-	from NodeID
-	to   []NodeID
-	p    Payload
+// getSlot pops a free delivery slot (or grows the pool).
+func (m *Medium) getSlot() uint32 {
+	if n := len(m.freeSlots); n > 0 {
+		s := m.freeSlots[n-1]
+		m.freeSlots = m.freeSlots[:n-1]
+		return s
+	}
+	m.inflight = append(m.inflight, delivery{})
+	return uint32(len(m.inflight) - 1)
 }
 
-// Run delivers the frame to every captured receiver and recycles itself.
-func (d *delivery) Run() {
-	m := d.m
-	for _, to := range d.to {
-		if !m.received(d.from, to) {
+// putSlot recycles a delivery slot, releasing its payload reference.
+func (m *Medium) putSlot(s uint32) {
+	m.inflight[s].p = nil
+	m.freeSlots = append(m.freeSlots, s)
+}
+
+// runDelivery fires a shared delivery event: the frame reaches every
+// captured receiver in ID order — the exact per-receiver order the former
+// one-event-per-receiver scheme produced, so RNG draws are unchanged.
+func (m *Medium) runDelivery(slot uint32, _ uint64) {
+	d := &m.inflight[slot]
+	from, p, to := d.from, d.p, d.to
+	// Handlers may transmit, growing m.inflight: use the captured locals,
+	// not d, past this point.
+	for _, rcv := range to {
+		if !m.received(from, rcv) {
 			continue
 		}
 		m.Counters.Receptions++
 		m.met.Deliveries.Inc()
-		m.nodes[to].handler(d.from, d.p)
+		m.handlers[rcv](from, p)
 	}
-	d.p = nil
-	m.free = append(m.free, d)
+	m.putSlot(slot)
 }
 
-// getDelivery pops a pooled delivery (or makes one).
-func (m *Medium) getDelivery() *delivery {
-	if n := len(m.free); n > 0 {
-		d := m.free[n-1]
-		m.free = m.free[:n-1]
-		return d
+// runLinkDelivery fires one per-link delivery event (LinkQueue mode): the
+// frame reaches the single receiver packed in b, and the slot is recycled
+// when its last per-link event has fired.
+func (m *Medium) runLinkDelivery(slot uint32, b uint64) {
+	d := &m.inflight[slot]
+	from, p := d.from, d.p
+	d.refs--
+	last := d.refs == 0
+	rcv := NodeID(b)
+	if m.received(from, rcv) {
+		m.Counters.Receptions++
+		m.met.Deliveries.Inc()
+		m.handlers[rcv](from, p) // may grow m.inflight; d is stale after
 	}
-	return &delivery{m: m}
+	if last {
+		m.putSlot(slot)
+	}
 }
 
 // SetFaults attaches a fault injector to the medium; nil detaches it. The
@@ -423,23 +403,64 @@ func (m *Medium) getDelivery() *delivery {
 // untouched.
 func (m *Medium) SetFaults(f FaultInjector) { m.faults = f }
 
-// scheduleDelivery queues d at its nominal delivery time, applying any
-// fault-injected reordering delay and duplicate copies first.
-func (m *Medium) scheduleDelivery(d *delivery, nominal float64) {
+// scheduleDelivery queues the slot's frame at its nominal delivery time,
+// applying any fault-injected reordering delay and duplicate copies first
+// (duplicates are scheduled before the original, preserving the event
+// sequence order of the previous implementation).
+func (m *Medium) scheduleDelivery(slot uint32, nominal, airtime float64) {
 	at := nominal
 	if m.faults != nil {
-		extra, dups := m.faults.TxEffects(d.from, m.eng.Now())
+		extra, dups := m.faults.TxEffects(m.inflight[slot].from, m.eng.Now())
 		at += extra
 		for _, dd := range dups {
-			c := m.getDelivery()
-			c.from = d.from
-			c.to = append(c.to[:0], d.to...)
-			c.p = d.p
+			c := m.getSlot()
+			src := &m.inflight[slot] // re-take: getSlot may have grown the pool
+			cp := &m.inflight[c]
+			cp.from = src.from
+			cp.to = append(cp.to[:0], src.to...)
+			cp.p = src.p
 			m.Counters.DupedFrames++
-			m.eng.AtRunner(at+dd, c)
+			m.sendFrame(c, at+dd, airtime)
 		}
 	}
-	m.eng.AtRunner(at, d)
+	m.sendFrame(slot, at, airtime)
+}
+
+// sendFrame schedules the slot's delivery event(s). With LinkQueue off,
+// one shared compact event walks the receiver list at delivery time. With
+// LinkQueue on, each receiver gets its own event serialized behind that
+// receiver's busy horizon, and frames that would queue longer than
+// LinkQueue airtimes are dropped — explicit per-link transmit modeling.
+func (m *Medium) sendFrame(slot uint32, at, airtime float64) {
+	if m.cfg.LinkQueue <= 0 {
+		m.eng.AtKind(at, m.deliverKind, slot, 0)
+		return
+	}
+	d := &m.inflight[slot]
+	capTime := float64(m.cfg.LinkQueue) * airtime
+	queued := int32(0)
+	for _, rcv := range d.to {
+		arr := at
+		if rb := m.rxBusy[rcv]; rb > arr {
+			arr = rb
+		}
+		// Compare horizons, not differences: (at+airtime)−at need not equal
+		// airtime in floating point, but both horizons below are built from
+		// the same additions, so a queue of exactly LinkQueue frames is
+		// admitted bit-reliably.
+		if arr > at+capTime {
+			m.Counters.DroppedQueue++
+			m.met.DropsQueue.Inc()
+			continue
+		}
+		m.rxBusy[rcv] = arr + airtime
+		m.eng.AtKind(arr, m.linkKind, slot, uint64(rcv))
+		queued++
+	}
+	d.refs = queued
+	if queued == 0 {
+		m.putSlot(slot)
+	}
 }
 
 // Unicast queues one frame from -> to. It returns false without
@@ -457,18 +478,18 @@ func (m *Medium) Unicast(from, to NodeID, p Payload) bool {
 	if !m.InRange(from, to) {
 		return false
 	}
-	src := &m.nodes[from]
-	start, airtime := m.txDelay(src, p.SizeBytes())
+	start, airtime := m.txDelay(from, p.SizeBytes())
 	m.Counters.FramesSent++
 	m.Counters.BytesSent += p.SizeBytes() + m.cfg.HeaderBytes
 	m.met.Unicasts.Inc()
 	m.met.FramesSent.Inc()
 	m.met.BytesSent.Add(int64(p.SizeBytes() + m.cfg.HeaderBytes))
-	d := m.getDelivery()
+	slot := m.getSlot()
+	d := &m.inflight[slot]
 	d.from = from
 	d.to = append(d.to[:0], to)
 	d.p = p
-	m.scheduleDelivery(d, start+airtime+m.cfg.Overhead)
+	m.scheduleDelivery(slot, start+airtime+m.cfg.Overhead, airtime)
 	return true
 }
 
@@ -509,29 +530,29 @@ func (m *Medium) received(from, to NodeID) bool {
 // Broadcast transmits one frame to every node currently in range and
 // returns how many receivers were addressed. The transmission is a single
 // busy period on the sender's radio; each addressed receiver independently
-// suffers range and loss drops at delivery time. All receivers share one
-// delivery event that walks the captured neighbor list in ID order.
+// suffers range and loss drops at delivery time.
 func (m *Medium) Broadcast(from NodeID, p Payload) int {
 	if m.faults != nil && m.faults.NodeDown(from, m.eng.Now()) {
 		return 0
 	}
-	d := m.getDelivery()
+	slot := m.getSlot()
+	d := &m.inflight[slot]
 	d.to = m.NeighborsInto(from, d.to)
-	src := &m.nodes[from]
-	start, airtime := m.txDelay(src, p.SizeBytes())
+	start, airtime := m.txDelay(from, p.SizeBytes())
 	m.Counters.FramesSent++
 	m.Counters.BytesSent += p.SizeBytes() + m.cfg.HeaderBytes
 	m.met.Broadcasts.Inc()
 	m.met.FramesSent.Inc()
 	m.met.BytesSent.Add(int64(p.SizeBytes() + m.cfg.HeaderBytes))
-	if len(d.to) == 0 {
-		m.free = append(m.free, d)
+	nrecv := len(d.to)
+	if nrecv == 0 {
+		m.putSlot(slot)
 		return 0
 	}
 	d.from = from
 	d.p = p
-	m.scheduleDelivery(d, start+airtime+m.cfg.Overhead)
-	return len(d.to)
+	m.scheduleDelivery(slot, start+airtime+m.cfg.Overhead, airtime)
+	return nrecv
 }
 
 // Config returns the medium configuration.

@@ -1,16 +1,30 @@
 // Package sim provides the discrete-event simulation kernel underneath the
 // MANET simulator — the Go counterpart of the JiST/SWANS engine the paper
-// uses. Events are closures ordered by simulated time with FIFO tie-break,
-// the clock only moves when events run, and all randomness flows through a
-// seeded source so every simulation is reproducible.
+// uses. Events are ordered by simulated time with FIFO tie-break, the clock
+// only moves when events run, and all randomness flows through a seeded
+// source so every simulation is reproducible.
 //
-// The event queue is a value-based 4-ary heap: events are stored inline (no
-// per-event heap object), the shallower tree does fewer cache-missing
-// comparisons per operation than a binary heap of pointers, and steady-state
-// Schedule/Step cycles allocate nothing once the queue slice has grown to
-// its high-water mark. Components with hot delivery paths implement Runner
-// and recycle their event state through their own free lists (see
-// radio.Medium); one-off closures keep using Schedule/At.
+// The event queue is a value-based 4-ary heap of *compact events*: each
+// queue entry is a fixed 32-byte struct carrying a small handler-kind enum
+// and two integer arguments instead of an interface or closure payload. The
+// queue therefore contains no pointers at all — the garbage collector never
+// scans it, which matters when a 100k-node scenario keeps hundreds of
+// thousands of frames in flight — and steady-state Schedule/Step cycles
+// allocate nothing once the slices have grown to their high-water marks.
+//
+// Hot components (the radio medium's frame deliveries, per-link queues)
+// register their own event kinds with RegisterKind and schedule with
+// AtKind/ScheduleKind, packing node IDs and pool-slot indices into the two
+// argument words. One-off closures keep using Schedule/At, and pre-allocated
+// Runner values keep using ScheduleRunner/AtRunner: both are dispatched
+// through reserved kinds whose argument indexes a free-listed side table, so
+// the queue stays pointer-free either way.
+//
+// Event times remain float64 seconds. The tendermint-style gossip
+// simulators this design borrows from use int32 millisecond ticks; here the
+// golden-trace determinism gates pin every historical delivery timestamp
+// bit-for-bit, so the time representation is the one part of the event that
+// must not be quantized.
 package sim
 
 import (
@@ -25,11 +39,15 @@ type Runner interface {
 	Run()
 }
 
-// funcRunner adapts a plain closure to Runner. Func values are
-// pointer-shaped, so the interface conversion itself does not allocate.
-type funcRunner func()
+// Kind identifies a registered compact-event handler on one engine.
+type Kind uint16
 
-func (f funcRunner) Run() { f() }
+// Reserved kinds backing the closure and Runner APIs.
+const (
+	kindFunc Kind = iota
+	kindRunner
+	numReservedKinds
+)
 
 // Engine is a single-threaded discrete-event scheduler.
 type Engine struct {
@@ -38,18 +56,60 @@ type Engine struct {
 	seq   uint64
 	rng   *rand.Rand
 	ran   uint64
+
+	// kinds maps a Kind to its handler; indices 0 and 1 are the reserved
+	// closure and Runner dispatchers.
+	kinds []func(a uint32, b uint64)
+
+	// Side tables for the reserved kinds: pending closures and Runners live
+	// in free-listed slots referenced by the event's a-argument, keeping the
+	// queue itself pointer-free.
+	funcs      []func()
+	funcFree   []uint32
+	runners    []Runner
+	runnerFree []uint32
 }
 
+// event is one queue entry: 32 bytes, no pointers.
 type event struct {
-	at  float64
-	seq uint64
-	r   Runner
+	at   float64
+	seq  uint64
+	b    uint64
+	a    uint32
+	kind Kind
 }
 
 // NewEngine creates an engine with its clock at zero and a deterministic
 // random source.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	e := &Engine{rng: rand.New(rand.NewSource(seed))}
+	e.kinds = append(e.kinds,
+		func(a uint32, _ uint64) { // kindFunc
+			f := e.funcs[a]
+			e.funcs[a] = nil
+			e.funcFree = append(e.funcFree, a)
+			f()
+		},
+		func(a uint32, _ uint64) { // kindRunner
+			r := e.runners[a]
+			e.runners[a] = nil
+			e.runnerFree = append(e.runnerFree, a)
+			r.Run()
+		},
+	)
+	return e
+}
+
+// RegisterKind installs a compact-event handler and returns its Kind. Hot
+// paths register once at setup and then schedule events that carry only
+// (kind, a, b) — no closure, no interface, no allocation.
+func (e *Engine) RegisterKind(fn func(a uint32, b uint64)) Kind {
+	if fn == nil {
+		panic("sim: nil kind handler")
+	}
+	k := Kind(len(e.kinds))
+	e.kinds = append(e.kinds, fn)
+	return k
 }
 
 // Now returns the current simulated time in seconds.
@@ -71,7 +131,16 @@ func (e *Engine) Schedule(delay float64, f func()) {
 
 // At runs f at absolute simulated time t (not before the current time).
 func (e *Engine) At(t float64, f func()) {
-	e.AtRunner(t, funcRunner(f))
+	var slot uint32
+	if n := len(e.funcFree); n > 0 {
+		slot = e.funcFree[n-1]
+		e.funcFree = e.funcFree[:n-1]
+		e.funcs[slot] = f
+	} else {
+		slot = uint32(len(e.funcs))
+		e.funcs = append(e.funcs, f)
+	}
+	e.AtKind(t, kindFunc, slot, 0)
 }
 
 // ScheduleRunner runs r after delay seconds of simulated time.
@@ -83,14 +152,42 @@ func (e *Engine) ScheduleRunner(delay float64, r Runner) {
 }
 
 // AtRunner runs r at absolute simulated time t (not before the current
-// time). This is the allocation-free scheduling primitive: the event is
-// stored by value and r may come from the caller's free list.
+// time). The event is stored by value and r may come from the caller's free
+// list; r itself parks in a free-listed side slot until the event fires.
 func (e *Engine) AtRunner(t float64, r Runner) {
+	var slot uint32
+	if n := len(e.runnerFree); n > 0 {
+		slot = e.runnerFree[n-1]
+		e.runnerFree = e.runnerFree[:n-1]
+		e.runners[slot] = r
+	} else {
+		slot = uint32(len(e.runners))
+		e.runners = append(e.runners, r)
+	}
+	e.AtKind(t, kindRunner, slot, 0)
+}
+
+// ScheduleKind queues a compact event after delay seconds of simulated time.
+func (e *Engine) ScheduleKind(delay float64, k Kind, a uint32, b uint64) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", delay))
+	}
+	e.AtKind(e.now+delay, k, a, b)
+}
+
+// AtKind queues a compact event at absolute simulated time t (not before
+// the current time). This is the allocation-free scheduling primitive: the
+// 32-byte event is stored by value in the pointer-free queue and dispatched
+// to the registered handler when it fires.
+func (e *Engine) AtKind(t float64, k Kind, a uint32, b uint64) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %g before now %g", t, e.now))
 	}
+	if int(k) >= len(e.kinds) {
+		panic(fmt.Sprintf("sim: unregistered event kind %d", k))
+	}
 	e.seq++
-	e.push(event{at: t, seq: e.seq, r: r})
+	e.push(event{at: t, seq: e.seq, kind: k, a: a, b: b})
 }
 
 // Step executes the earliest pending event and reports whether one existed.
@@ -101,7 +198,7 @@ func (e *Engine) Step() bool {
 	ev := e.pop()
 	e.now = ev.at
 	e.ran++
-	ev.r.Run()
+	e.kinds[ev.kind](ev.a, ev.b)
 	return true
 }
 
@@ -166,7 +263,6 @@ func (e *Engine) pop() event {
 	top := q[0]
 	n := len(q) - 1
 	q[0] = q[n]
-	q[n] = event{} // release the Runner reference
 	q = q[:n]
 	// Sift down: children of i are 4i+1 .. 4i+4.
 	i := 0
