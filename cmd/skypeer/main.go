@@ -18,7 +18,11 @@
 // peers prune it from their flood fan-out instead of black-holing frames.
 //
 // Any mode accepts -http ADDR to serve live telemetry: /metrics
-// (Prometheus text), /metrics.json (snapshot), and /debug/pprof.
+// (Prometheus text), /metrics.json (snapshot), and /debug/pprof. With
+// -trace the peer additionally records per-hop transport spans, served at
+// /trace.jsonl — collect every peer's dump with cmd/skytrace to get merged
+// causal timelines. -flight N keeps a lock-free ring of the last N fault
+// events (dead-letters, decode/dial failures, reconnects) at /flight.jsonl.
 package main
 
 import (
@@ -62,19 +66,32 @@ func run() error {
 		query     = flag.Float64("query", 0, "issue one query with this distance of interest, print the skyline, and exit")
 		peers     = flag.Int("peers", 0, "network size for the query quorum (default: directory size)")
 		lease     = flag.Duration("lease", 0, "register with a directory lease of this TTL, kept alive by heartbeat (0 = permanent)")
-		httpAddr  = flag.String("http", "", "serve /metrics, /metrics.json, and /debug/pprof on this address")
+		httpAddr  = flag.String("http", "", "serve /metrics, /metrics.json, /trace.jsonl, /flight.jsonl, and /debug/pprof on this address")
+		traceOn   = flag.Bool("trace", false, "record per-hop transport spans, served at /trace.jsonl (needs -http)")
+		flightN   = flag.Int("flight", 0, "keep a flight recorder of the last N fault events, served at /flight.jsonl (needs -http)")
 	)
 	flag.Parse()
 
-	var reg *telemetry.Registry
+	var (
+		reg    *telemetry.Registry
+		spans  *telemetry.SpanLog
+		flight *telemetry.FlightRecorder
+	)
 	if *httpAddr != "" {
 		reg = telemetry.NewRegistry()
+		telemetry.RegisterRuntimeMetrics(reg)
+		if *traceOn {
+			spans = telemetry.NewSpanLog()
+		}
+		if *flightN > 0 {
+			flight = telemetry.NewFlightRecorder(*flightN)
+		}
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			return fmt.Errorf("telemetry listener: %w", err)
 		}
 		defer ln.Close()
-		go func() { _ = http.Serve(ln, telemetry.NewMux(reg)) }()
+		go func() { _ = http.Serve(ln, telemetry.NewObsMux(reg, spans, flight)) }()
 		fmt.Printf("telemetry on http://%s/metrics\n", ln.Addr())
 	}
 
@@ -130,6 +147,8 @@ func run() error {
 	client := tcp.NewDirectoryClient(*join)
 	cfg := tcp.DefaultConfig()
 	cfg.Registry = reg
+	cfg.Spans = spans
+	cfg.Flight = flight
 	cfg.LeaseTTL = *lease
 	peer, err := tcp.NewPeer(core.DeviceID(*id), data, schema, est, true,
 		tuple.Point{X: *x, Y: *y}, client, cfg)

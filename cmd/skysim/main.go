@@ -214,6 +214,12 @@ func run() error {
 	} else {
 		fmt.Printf("resp. time:       n/a (no completed queries)\n")
 	}
+	if p.Metrics != nil {
+		if h := p.Metrics.Histogram("manet_response_time_seconds", "", nil); h.Count() > 0 {
+			fmt.Printf("resp. quantiles:  p50 %.3fs  p95 %.3fs  p99 %.3fs (bucket-interpolated)\n",
+				h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+		}
+	}
 	fmt.Printf("mean msgs/query:  %.1f\n", out.MeanMessages())
 	fmt.Printf("radio frames:     %d sent, %d received, %d lost to range, %d lost to noise\n",
 		out.Radio.FramesSent, out.Radio.Receptions, out.Radio.DroppedRange, out.Radio.DroppedLoss)
@@ -241,6 +247,11 @@ func run() error {
 		if r, ok := out.MeanRecall(); ok {
 			pr, _ := out.MeanPrecision()
 			fmt.Printf("recall:           mean %.3f, precision %.3f (centralized oracle)\n", r, pr)
+		}
+	}
+	if p.Metrics != nil {
+		if br := p.Metrics.Bytes(); br.OnAir > 0 {
+			fmt.Printf("%s\n", br.String())
 		}
 	}
 	fmt.Printf("events executed:  %d\n", out.Events)

@@ -1,0 +1,118 @@
+// Command skytrace merges per-peer span dumps from the live TCP runtime
+// into causal per-query timelines: every cross-peer hop with its latency,
+// per-hop percentiles, and the critical path that set each query's
+// end-to-end latency.
+//
+// Inputs are either files (one /trace.jsonl dump per peer) or live peers
+// polled over HTTP:
+//
+//	skytrace peer0.jsonl peer1.jsonl peer2.jsonl
+//	skytrace -peers http://127.0.0.1:8080,http://127.0.0.1:8081
+//
+// By default the merged report is human-readable text; -json emits the
+// merged timelines as JSON for downstream tooling.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"manetskyline/internal/telemetry"
+	"manetskyline/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "skytrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		peers   = flag.String("peers", "", "comma-separated peer base URLs to poll at <url>/trace.jsonl")
+		jsonOut = flag.Bool("json", false, "emit merged timelines as JSON instead of text")
+		timeout = flag.Duration("timeout", 5*time.Second, "per-peer HTTP fetch timeout")
+	)
+	flag.Parse()
+
+	var spans []*telemetry.Span
+	if *peers != "" {
+		client := &http.Client{Timeout: *timeout}
+		for _, base := range strings.Split(*peers, ",") {
+			base = strings.TrimSpace(base)
+			if base == "" {
+				continue
+			}
+			got, err := fetchSpans(client, base)
+			if err != nil {
+				return err
+			}
+			spans = append(spans, got...)
+		}
+	}
+	for _, path := range flag.Args() {
+		got, err := readSpansFile(path)
+		if err != nil {
+			return err
+		}
+		spans = append(spans, got...)
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no spans: pass dump files or -peers URLs")
+	}
+
+	tls := trace.Merge(spans)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tls)
+	}
+	return trace.WriteReport(os.Stdout, tls)
+}
+
+// fetchSpans pulls one peer's /trace.jsonl.
+func fetchSpans(client *http.Client, base string) ([]*telemetry.Span, error) {
+	url := strings.TrimRight(base, "/") + "/trace.jsonl"
+	if !strings.Contains(base, "://") {
+		url = "http://" + url
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("fetch %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("fetch %s: %s", url, resp.Status)
+	}
+	spans, err := trace.ReadSpansJSONL(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", url, err)
+	}
+	return spans, nil
+}
+
+// readSpansFile reads one dump file ("-" for stdin).
+func readSpansFile(path string) ([]*telemetry.Span, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	spans, err := trace.ReadSpansJSONL(r)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return spans, nil
+}

@@ -362,6 +362,7 @@ func (nd *node) handleRREQ(from radio.NodeID, q *rreqPkt) {
 	fwd.Hops++
 	nd.net.Counters.RREQSent++
 	nd.net.met.RREQSent.Inc()
+	nd.net.met.ControlBytes.Add(rreqBytes)
 	nd.net.med.Broadcast(nd.id, &fwd)
 }
 
@@ -373,6 +374,7 @@ func (nd *node) sendRREP(p *rrepPkt) {
 	}
 	nd.net.Counters.RREPSent++
 	nd.net.met.RREPSent.Inc()
+	nd.net.met.ControlBytes.Add(rrepBytes)
 	nd.net.med.Unicast(nd.id, r.nextHop, p)
 }
 
@@ -458,6 +460,7 @@ func (nd *node) sendRERRToward(src, lostDst radio.NodeID) {
 	}
 	nd.net.Counters.RERRSent++
 	nd.net.met.RERRSent.Inc()
+	nd.net.met.ControlBytes.Add(rerrBytes)
 	nd.net.med.Unicast(nd.id, r.nextHop, &rerrPkt{Dst: lostDst, DstSeq: seq})
 }
 
@@ -487,6 +490,7 @@ func (nd *node) startDiscovery(dst radio.NodeID) {
 	nd.net.Counters.RREQSent++
 	nd.net.met.RouteDiscoveries.Inc()
 	nd.net.met.RREQSent.Inc()
+	nd.net.met.ControlBytes.Add(rreqBytes)
 	nd.net.med.Broadcast(nd.id, &rreqPkt{
 		Orig: nd.id, OrigSeq: nd.seqNo, ID: id, Dst: dst, DstSeq: dstSeq,
 	})

@@ -21,7 +21,18 @@ type Metrics struct {
 	DataForwarded *telemetry.Counter
 	DataDelivered *telemetry.Counter
 	DataDropped   *telemetry.Counter
+	// ControlBytes counts the on-air bytes of control transmissions, using
+	// the AODV header sizes (RREQ 24B, RREP 20B, RERR 12B per RFC 3561).
+	// It feeds the per-layer bytes-on-air ledger (telemetry.BytesReport).
+	ControlBytes *telemetry.Counter
 }
+
+// AODV control packet wire sizes (RFC 3561 message formats).
+const (
+	rreqBytes = 24
+	rrepBytes = 20
+	rerrBytes = 12
+)
 
 // NewMetrics registers the routing metrics in r (nil r ⇒ disabled metrics).
 func NewMetrics(r *telemetry.Registry) Metrics {
@@ -34,6 +45,7 @@ func NewMetrics(r *telemetry.Registry) Metrics {
 		DataForwarded:    r.Counter("aodv_data_forwarded_total", "hop-level data transmissions"),
 		DataDelivered:    r.Counter("aodv_data_delivered_total", "end-to-end data deliveries"),
 		DataDropped:      r.Counter("aodv_data_dropped_total", "data packets given up on (no route, TTL, or break)"),
+		ControlBytes:     r.Counter("aodv_control_bytes_sent_total", "on-air bytes of RREQ/RREP/RERR control transmissions"),
 	}
 }
 

@@ -1,7 +1,6 @@
 package chaos
 
 import (
-	"encoding/binary"
 	"io"
 	"net"
 	"sync"
@@ -123,7 +122,9 @@ func (p *linkProxy) pump(client net.Conn) {
 	defer delayed.Wait()
 
 	for {
-		msg, err := wire.ReadFrame(client)
+		// Raw passthrough: the proxy must not interpret (or rewrite) the
+		// header, so traced v2 frames cross the middlebox byte-identical.
+		hdr, body, err := wire.ReadRawFrame(client)
 		if err != nil {
 			return
 		}
@@ -137,7 +138,7 @@ func (p *linkProxy) pump(client net.Conn) {
 		delay, dups := p.r.eval.FrameEffects(now)
 		wallDelay := p.r.wallFor(delay) + p.r.opts.Extras.Latency
 		if wallDelay > 0 {
-			msg := msg
+			hdr, body := hdr, body
 			delayed.Add(1)
 			p.r.wg.Add(1)
 			go func() {
@@ -151,7 +152,7 @@ func (p *linkProxy) pump(client net.Conn) {
 				wmu.Lock()
 				defer wmu.Unlock()
 				for i := 0; i <= dups; i++ {
-					if p.writeFrame(backend, msg) != nil {
+					if p.writeFrame(backend, hdr, body) != nil {
 						return
 					}
 				}
@@ -159,9 +160,9 @@ func (p *linkProxy) pump(client net.Conn) {
 			continue
 		}
 		wmu.Lock()
-		werr := p.writeFrame(backend, msg)
+		werr := p.writeFrame(backend, hdr, body)
 		for i := 0; i < dups && werr == nil; i++ {
-			werr = p.writeFrame(backend, msg)
+			werr = p.writeFrame(backend, hdr, body)
 		}
 		wmu.Unlock()
 		if werr != nil {
@@ -199,15 +200,16 @@ func (p *linkProxy) waitHealed() bool {
 }
 
 // writeFrame forwards one frame, trickling it byte-wise when configured.
+// The original header bytes are preserved verbatim (trace flag included).
 // Callers hold the per-backend write mutex.
-func (p *linkProxy) writeFrame(backend net.Conn, msg []byte) error {
+func (p *linkProxy) writeFrame(backend net.Conn, hdr [4]byte, body []byte) error {
 	chunk := p.r.opts.Extras.TrickleChunk
 	if chunk <= 0 {
-		return wire.WriteFrame(backend, msg)
+		return wire.WriteRawFrame(backend, hdr, body)
 	}
-	buf := make([]byte, 4, 4+len(msg))
-	binary.LittleEndian.PutUint32(buf, uint32(len(msg)))
-	buf = append(buf, msg...)
+	buf := make([]byte, 0, 4+len(body))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, body...)
 	for len(buf) > 0 {
 		n := chunk
 		if n > len(buf) {

@@ -10,6 +10,7 @@ import (
 	"manetskyline/internal/gen"
 	"manetskyline/internal/skyline"
 	"manetskyline/internal/tcp"
+	"manetskyline/internal/telemetry"
 	"manetskyline/internal/tuple"
 )
 
@@ -40,6 +41,21 @@ type SoakConfig struct {
 	Peer tcp.Config
 	// Extras adds socket-level churn on every link.
 	Extras Extras
+	// Trace gives every peer its own SpanLog recording per-hop transport
+	// spans. Logs are per-device and survive crash/respawn, so a restarted
+	// peer keeps appending to its device's history; the merged spans come
+	// back in SoakResult.Spans, ready for trace.Merge / cmd/skytrace.
+	Trace bool
+	// Flight, when non-nil, is shared by every peer: dead-letters, decode
+	// failures, dial failures and reconnects land in the ring as they
+	// happen.
+	Flight *telemetry.FlightRecorder
+	// FlightDump, when set with Flight, snapshots the recorder to this
+	// file the first time a query's recall lands below RecallTrigger —
+	// the black-box dump for the failure that tripped the gate.
+	FlightDump string
+	// RecallTrigger is the dump threshold (0 disables dumping).
+	RecallTrigger float64
 }
 
 // QueryOutcome scores one soak query.
@@ -57,6 +73,10 @@ type QueryOutcome struct {
 type SoakResult struct {
 	Peers   int
 	Queries []QueryOutcome
+	// Spans is every peer's span log merged (only with SoakConfig.Trace).
+	Spans []*telemetry.Span
+	// FlightDumped reports whether a recall miss snapshotted the recorder.
+	FlightDumped bool
 }
 
 // MeanRecall averages per-query recall (1 when no queries ran).
@@ -135,9 +155,22 @@ func Soak(cfg SoakConfig) (*SoakResult, error) {
 		}
 	}()
 
+	var spanLogs []*telemetry.SpanLog
+	if cfg.Trace {
+		spanLogs = make([]*telemetry.SpanLog, n)
+		for i := range spanLogs {
+			spanLogs[i] = telemetry.NewSpanLog()
+		}
+	}
+
 	spawn := func(i int) error {
+		pcfg := cfg.Peer
+		if cfg.Trace {
+			pcfg.Spans = spanLogs[i]
+		}
+		pcfg.Flight = cfg.Flight
 		p, err := tcp.NewPeer(core.DeviceID(i), parts[i], gcfg.Schema(), core.Under,
-			true, positions[i], router.View(core.DeviceID(i)), cfg.Peer)
+			true, positions[i], router.View(core.DeviceID(i)), pcfg)
 		if err != nil {
 			return fmt.Errorf("chaos: peer %d: %w", i, err)
 		}
@@ -213,8 +246,9 @@ func Soak(cfg SoakConfig) (*SoakResult, error) {
 
 	res := &SoakResult{Peers: n}
 	var (
-		resMu sync.Mutex
-		wg    sync.WaitGroup
+		resMu  sync.Mutex
+		wg     sync.WaitGroup
+		dumped bool
 	)
 	start := time.Now()
 	ticker := time.NewTicker(cfg.QueryEvery)
@@ -272,11 +306,28 @@ func Soak(cfg SoakConfig) (*SoakResult, error) {
 			} else {
 				out.Recall = float64(matched) / float64(len(truth))
 			}
+			if cfg.Flight != nil && cfg.RecallTrigger > 0 && out.Recall < cfg.RecallTrigger {
+				cfg.Flight.Record(telemetry.FlightEvent{
+					Kind: "recall_miss", Peer: int32(org),
+					Detail: fmt.Sprintf("recall %.3f < %.3f (%d/%d tuples)",
+						out.Recall, cfg.RecallTrigger, out.Results, out.Truth),
+				})
+			}
 			resMu.Lock()
 			res.Queries = append(res.Queries, out)
+			if cfg.Flight != nil && cfg.FlightDump != "" && !dumped &&
+				cfg.RecallTrigger > 0 && out.Recall < cfg.RecallTrigger {
+				if err := cfg.Flight.DumpFile(cfg.FlightDump); err == nil {
+					dumped = true
+					res.FlightDumped = true
+				}
+			}
 			resMu.Unlock()
 		}()
 	}
 	wg.Wait()
+	for _, l := range spanLogs {
+		res.Spans = append(res.Spans, l.Spans()...)
+	}
 	return res, nil
 }

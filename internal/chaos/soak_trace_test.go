@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"manetskyline/internal/faults"
+	"manetskyline/internal/leaktest"
+	"manetskyline/internal/telemetry"
+	"manetskyline/internal/trace"
+)
+
+// The observability acceptance soak: 9 peers under crash+partition with
+// tracing on. The merged spans must reconstruct causal per-query timelines
+// showing real TCP hops with per-hop latency, and the recall trigger must
+// snapshot the flight recorder when a query issued into the partition times
+// out short of the truth.
+func TestSoakTracing(t *testing.T) {
+	defer leaktest.Check(t)()
+	plan, err := faults.Named("crash+partition", 9, 3.0)
+	if err != nil {
+		t.Fatalf("Named: %v", err)
+	}
+	flight := telemetry.NewFlightRecorder(512)
+	dump := filepath.Join(t.TempDir(), "flight.jsonl")
+	pcfg := soakPeerConfig(nil)
+	// Shorter than the partition window: queries issued into it time out
+	// incomplete, recall drops below the trigger, the recorder dumps.
+	pcfg.QueryTimeout = 700 * time.Millisecond
+	res, err := Soak(SoakConfig{
+		Grid: 3, Tuples: 1800, Seed: 4,
+		Plan: plan, Horizon: 3.0, Wall: 3 * time.Second,
+		QueryEvery: 150 * time.Millisecond,
+		Peer:       pcfg,
+		Trace:      true,
+		Flight:     flight, FlightDump: dump, RecallTrigger: 0.999,
+	})
+	if err != nil {
+		t.Fatalf("Soak: %v", err)
+	}
+	if len(res.Queries) < 8 {
+		t.Fatalf("only %d queries issued", len(res.Queries))
+	}
+	if len(res.Spans) == 0 {
+		t.Fatal("traced soak returned no spans")
+	}
+
+	tls := trace.Merge(res.Spans)
+	if len(tls) == 0 {
+		t.Fatal("merged spans produced no timelines")
+	}
+	// Every query the soak scored must have a merged timeline, and at least
+	// one must show the full causal story: multi-hop flood, result hops
+	// back, a critical path, and positive per-hop latencies.
+	if len(tls) < len(res.Queries) {
+		t.Errorf("%d timelines for %d queries", len(tls), len(res.Queries))
+	}
+	full := 0
+	for _, tl := range tls {
+		queries, results := 0, 0
+		for _, h := range tl.Hops {
+			if h.Bytes <= 0 {
+				t.Errorf("query %d/%d: hop %d->%d with %d bytes", tl.Org, tl.Cnt, h.From, h.To, h.Bytes)
+			}
+			if h.Lost {
+				continue
+			}
+			if h.Latency < 0 {
+				t.Errorf("query %d/%d: negative hop latency %g", tl.Org, tl.Cnt, h.Latency)
+			}
+			switch h.Kind {
+			case "query":
+				queries++
+			case "result":
+				results++
+			}
+		}
+		if tl.Done && queries > 0 && results > 0 && len(tl.Critical) > 0 {
+			full++
+		}
+	}
+	if full == 0 {
+		t.Errorf("no timeline shows flood hops, result hops, and a critical path")
+	}
+
+	// The partition must have tripped the recall trigger: fault events in
+	// the ring and one snapshot on disk.
+	if flight.Len() == 0 {
+		t.Error("flight recorder is empty after a crash+partition soak")
+	}
+	if !res.FlightDumped {
+		t.Error("no flight-recorder dump; partition queries should have missed recall")
+	}
+	if data, err := os.ReadFile(dump); err != nil || len(data) == 0 {
+		t.Errorf("flight dump unreadable: err=%v bytes=%d", err, len(data))
+	}
+	miss := 0
+	for _, ev := range flight.Snapshot() {
+		if ev.Kind == "recall_miss" {
+			miss++
+		}
+	}
+	if miss == 0 {
+		t.Error("no recall_miss events recorded")
+	}
+
+	var report bytes.Buffer
+	if err := trace.WriteReport(&report, tls); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	t.Logf("merged trace (%d timelines, %d recall misses):\n%s", len(tls), miss, report.String())
+}

@@ -14,8 +14,10 @@ type simMetrics struct {
 	// condition (BF quorum or DF neighbour exhaustion).
 	QueriesCompleted *telemetry.Counter
 	// QueryMessages counts hop-level protocol transmissions attributed to
-	// queries (the Figure 12 metric).
+	// queries (the Figure 12 metric); QueryBytes counts their payload bytes
+	// for the per-layer bytes-on-air ledger (telemetry.BytesReport).
 	QueryMessages *telemetry.Counter
+	QueryBytes    *telemetry.Counter
 	// Transfers counts §7 relation hand-offs.
 	Transfers *telemetry.Counter
 	// QueryRetries counts originator re-issues under the retry policy;
@@ -43,6 +45,7 @@ func newSimMetrics(r *telemetry.Registry) simMetrics {
 		QueriesSkipped:   r.Counter("manet_queries_skipped_total", "issue opportunities skipped while a query was in progress"),
 		QueriesCompleted: r.Counter("manet_queries_completed_total", "queries that reached their completion condition"),
 		QueryMessages:    r.Counter("manet_query_messages_total", "hop-level protocol transmissions attributed to queries"),
+		QueryBytes:       r.Counter("manet_query_bytes_sent_total", "payload bytes of query-attributed transmissions"),
 		Transfers:        r.Counter("manet_transfers_total", "relation hand-offs between devices"),
 		QueryRetries:     r.Counter("manet_query_retries_total", "originator query re-issues under the retry policy"),
 		QueriesPartial:   r.Counter("manet_queries_partial_total", "queries finalized by their deadline with partial results"),

@@ -175,7 +175,8 @@ func (n *node) bfStart(q core.Query, res localsky.Result) {
 		n.finishQuery(q.Key(), st.merged)
 		return
 	}
-	n.sc.countQueryMessages(q.Key(), n.bfFlood(&queryMsg{Q: q, Hops: 1}))
+	first := &queryMsg{Q: q, Hops: 1}
+	n.sc.countQueryMessages(q.Key(), n.bfFlood(first), first.SizeBytes())
 	n.bfScheduleRetry(q.Key(), st)
 }
 
@@ -194,7 +195,8 @@ func (n *node) bfScheduleRetry(key core.QueryKey, st *bfOrigState) {
 		}
 		st.attempts++
 		n.recordRetry(key, st.attempts)
-		n.sc.countQueryMessages(key, n.bfFlood(&queryMsg{Q: st.q, Hops: 1}))
+		refl := &queryMsg{Q: st.q, Hops: 1}
+		n.sc.countQueryMessages(key, n.bfFlood(refl), refl.SizeBytes())
 		n.bfScheduleRetry(key, st)
 	})
 }
@@ -220,8 +222,8 @@ func (n *node) bfHandleQuery(msg *queryMsg) {
 			Key: q.Key(), From: n.dev.ID, Tuples: res.Skyline,
 		})
 		// Keep flooding with the (possibly upgraded) filter.
-		n.sc.countQueryMessages(q.Key(),
-			n.bfFlood(&queryMsg{Q: core.Forwardable(q, res), Hops: msg.Hops + 1}))
+		fwd := &queryMsg{Q: core.Forwardable(q, res), Hops: msg.Hops + 1}
+		n.sc.countQueryMessages(q.Key(), n.bfFlood(fwd), fwd.SizeBytes())
 	})
 }
 

@@ -286,6 +286,7 @@ func build(p Params) *scenario {
 				m.Messages++
 			}
 			sc.met.QueryMessages.Inc()
+			sc.met.QueryBytes.Add(int64(payload.SizeBytes()))
 		}
 	}
 
@@ -394,11 +395,13 @@ func (sc *scenario) observe(key core.QueryKey, res processOutcome) {
 // breadth-first broadcast counts once per addressed receiver (every
 // reception consumes air time and receiver energy), matching the paper's
 // Figure 12 semantics where flooding's cost grows with network density.
-func (sc *scenario) countQueryMessages(key core.QueryKey, n int) {
+// sizeBytes is the per-transmission payload size feeding the bytes ledger.
+func (sc *scenario) countQueryMessages(key core.QueryKey, n, sizeBytes int) {
 	if m := sc.metrics[key]; m != nil {
 		m.Messages += n
 	}
 	sc.met.QueryMessages.Add(int64(n))
+	sc.met.QueryBytes.Add(int64(n) * int64(sizeBytes))
 }
 
 // quorum computes the BF completion threshold: the paper's 80% of the other

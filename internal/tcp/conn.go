@@ -1,10 +1,14 @@
 package tcp
 
 import (
+	"fmt"
 	"net"
+	"sort"
+	"sync/atomic"
 	"time"
 
 	"manetskyline/internal/core"
+	"manetskyline/internal/telemetry"
 	"manetskyline/internal/wire"
 )
 
@@ -16,11 +20,12 @@ type Invalidator interface {
 	Invalidate(id core.DeviceID)
 }
 
-// outFrame is one queued message with its enqueue time; frames older than
-// Config.RetryTimeout are dead-lettered instead of retried, since any query
-// they belonged to has timed out anyway.
+// outFrame is one queued message with its enqueue time and trace context;
+// frames older than Config.RetryTimeout are dead-lettered instead of
+// retried, since any query they belonged to has timed out anyway.
 type outFrame struct {
 	msg []byte
+	tc  *wire.TraceContext
 	enq time.Time
 }
 
@@ -34,12 +39,27 @@ type peerConn struct {
 	id core.DeviceID
 
 	queue chan outFrame
+
+	// reconnects counts link re-establishments, surfaced by Peer.LinkStats
+	// and (with a registry) the per-link tcp_link_reconnects_total counter.
+	reconnects atomic.Int64
+	depth      *telemetry.Gauge
+	linkRecon  *telemetry.Counter
 }
 
 // newPeerConn starts the writer goroutine; the caller holds p.mu and has
 // already checked p.closed.
 func newPeerConn(p *Peer, id core.DeviceID) *peerConn {
 	pc := &peerConn{p: p, id: id, queue: make(chan outFrame, p.cfg.SendQueueLen)}
+	if p.cfg.Registry != nil {
+		// Cold path (once per link): per-neighbour labels make the pool's
+		// internal state scrapeable without touching the hot send path.
+		lbl := fmt.Sprintf(`from="%d",to="%d"`, p.dev.ID, id)
+		pc.depth = p.cfg.Registry.GaugeL("tcp_send_queue_depth", lbl,
+			"frames currently queued on this neighbour link")
+		pc.linkRecon = p.cfg.Registry.CounterL("tcp_link_reconnects_total", lbl,
+			"re-establishments of this neighbour link")
+	}
 	p.wg.Add(1)
 	go pc.run()
 	return pc
@@ -48,11 +68,14 @@ func newPeerConn(p *Peer, id core.DeviceID) *peerConn {
 // enqueue hands one frame to the writer. A full queue dead-letters the
 // frame immediately: the peer is already far behind, and unbounded memory
 // is worse than loss the protocol's quorum/timeout machinery absorbs.
-func (pc *peerConn) enqueue(msg []byte) {
+func (pc *peerConn) enqueue(msg []byte, tc *wire.TraceContext) {
 	select {
-	case pc.queue <- outFrame{msg: msg, enq: time.Now()}:
+	case pc.queue <- outFrame{msg: msg, tc: tc, enq: time.Now()}:
+		pc.depth.Set(int64(len(pc.queue)))
+		pc.p.traceStage(tc, telemetry.StageEnqueue, pc.id, wire.FrameWireSize(len(msg), tc != nil))
 	default:
 		pc.p.met.DeadLetters.Inc()
+		pc.p.flightEvent("dead_letter", tc, "send queue to %d full", pc.id)
 		pc.p.logf("tcp: peer %d: send queue to %d full, frame dead-lettered", pc.p.dev.ID, pc.id)
 	}
 }
@@ -72,6 +95,7 @@ func (pc *peerConn) run() {
 	for {
 		select {
 		case f := <-pc.queue:
+			pc.depth.Set(int64(len(pc.queue)))
 			conn = pc.deliver(conn, f)
 			if !idle.Stop() {
 				select {
@@ -103,6 +127,7 @@ func (pc *peerConn) deliver(conn net.Conn, f outFrame) net.Conn {
 	for attempt := 0; ; attempt++ {
 		if time.Since(f.enq) > p.cfg.RetryTimeout {
 			p.met.DeadLetters.Inc()
+			p.flightEvent("dead_letter", f.tc, "frame to %d expired after %d attempts", pc.id, attempt)
 			p.logf("tcp: peer %d: frame to %d expired after %d attempts", p.dev.ID, pc.id, attempt)
 			return conn
 		}
@@ -110,6 +135,7 @@ func (pc *peerConn) deliver(conn net.Conn, f outFrame) net.Conn {
 			c, err := pc.dial()
 			if err != nil {
 				p.met.DialFailures.Inc()
+				p.flightEvent("dial_failure", f.tc, "dial %d: %v", pc.id, err)
 				if inv, ok := p.dir.(Invalidator); ok {
 					inv.Invalidate(pc.id)
 				}
@@ -123,14 +149,19 @@ func (pc *peerConn) deliver(conn net.Conn, f outFrame) net.Conn {
 				continue
 			}
 			conn = c
+			p.traceStage(f.tc, telemetry.StageDial, pc.id, 0)
 			if attempt > 0 {
 				p.met.Reconnects.Inc()
+				pc.reconnects.Add(1)
+				pc.linkRecon.Inc()
+				p.flightEvent("reconnect", f.tc, "link to %d re-established after %d attempts", pc.id, attempt)
 			}
 		}
 		conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
-		if err := wire.WriteFrame(conn, f.msg); err == nil {
+		if err := wire.WriteFrameCtx(conn, f.msg, f.tc); err == nil {
 			p.met.MessagesOut.Inc()
-			p.met.BytesOut.Add(frameBytes(f.msg))
+			p.met.BytesOut.Add(frameBytes(f.msg, f.tc != nil))
+			p.traceStage(f.tc, telemetry.StageWrite, pc.id, wire.FrameWireSize(len(f.msg), f.tc != nil))
 			return conn
 		}
 		conn.Close()
@@ -164,6 +195,31 @@ func (pc *peerConn) sleep(d time.Duration) bool {
 	}
 }
 
+// LinkStat is one neighbour link's live transport state, surfaced from the
+// connection pool's internal fields.
+type LinkStat struct {
+	// To is the neighbour the link leads to.
+	To core.DeviceID
+	// QueueDepth is the number of frames waiting on the link's send queue.
+	QueueDepth int
+	// Reconnects counts re-establishments after at least one failure.
+	Reconnects int64
+}
+
+// LinkStats reports every managed outbound link, sorted by neighbour ID.
+func (p *Peer) LinkStats() []LinkStat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]LinkStat, 0, len(p.conns))
+	for id, pc := range p.conns {
+		out = append(out, LinkStat{
+			To: id, QueueDepth: len(pc.queue), Reconnects: pc.reconnects.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].To < out[j].To })
+	return out
+}
+
 // drain gives queued frames one best-effort flush within DrainTimeout so a
 // graceful shutdown does not strand results already computed (e.g. replies
 // to a query that arrived just before Close).
@@ -182,14 +238,15 @@ func (pc *peerConn) drain(conn net.Conn) {
 				conn = c
 			}
 			conn.SetWriteDeadline(deadline)
-			if err := wire.WriteFrame(conn, f.msg); err != nil {
+			if err := wire.WriteFrameCtx(conn, f.msg, f.tc); err != nil {
 				conn.Close()
 				conn = nil
 				p.met.DeadLetters.Inc()
 				continue
 			}
 			p.met.MessagesOut.Inc()
-			p.met.BytesOut.Add(frameBytes(f.msg))
+			p.met.BytesOut.Add(frameBytes(f.msg, f.tc != nil))
+			p.traceStage(f.tc, telemetry.StageWrite, pc.id, wire.FrameWireSize(len(f.msg), f.tc != nil))
 		default:
 			if conn != nil {
 				conn.Close()

@@ -170,6 +170,25 @@ func (d *Directory) Sweep() int {
 	return n
 }
 
+// StateCounts tallies current registrations by lease state. Down entries
+// still counted here are ones the janitor has not yet swept.
+func (d *Directory) StateCounts() (live, suspect, down int) {
+	now := time.Now()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for _, e := range d.addrs {
+		switch e.state(now) {
+		case LeaseLive:
+			live++
+		case LeaseSuspect:
+			suspect++
+		case LeaseDown:
+			down++
+		}
+	}
+	return live, suspect, down
+}
+
 // Snapshot returns the resolvable (live or suspect) peers.
 func (d *Directory) Snapshot() map[core.DeviceID]string {
 	now := time.Now()

@@ -62,8 +62,23 @@ type DirectoryServer struct {
 }
 
 // SetRegistry attaches telemetry to the server; call before clients connect.
+// Lease states are exposed as tcp_dir_leases{state="live|suspect|down"}
+// gauges, refreshed lazily at every exposition pass.
 func (s *DirectoryServer) SetRegistry(r *telemetry.Registry) {
 	s.met = NewMetrics(r)
+	if r == nil {
+		return
+	}
+	const help = "directory registrations by lease state"
+	liveG := r.GaugeL("tcp_dir_leases", `state="live"`, help)
+	suspectG := r.GaugeL("tcp_dir_leases", `state="suspect"`, help)
+	downG := r.GaugeL("tcp_dir_leases", `state="down"`, help)
+	r.OnCollect(func() {
+		live, suspect, down := s.dir.StateCounts()
+		liveG.Set(int64(live))
+		suspectG.Set(int64(suspect))
+		downG.Set(int64(down))
+	})
 }
 
 // NewDirectoryServer starts serving on addr ("127.0.0.1:0" for an

@@ -1,6 +1,9 @@
 package tcp
 
-import "manetskyline/internal/telemetry"
+import (
+	"manetskyline/internal/telemetry"
+	"manetskyline/internal/wire"
+)
 
 // Metrics is the TCP runtime's telemetry surface. The zero value (all nil)
 // is the disabled state; increments then cost one nil check. Several peers
@@ -91,5 +94,8 @@ func NewMetrics(r *telemetry.Registry) Metrics {
 }
 
 // frameBytes is the wire size of one framed message: the payload plus the
-// 4-byte length prefix (see internal/wire).
-func frameBytes(msg []byte) int64 { return int64(len(msg)) + 4 }
+// 4-byte length prefix, plus the trace context when the frame carries one
+// (see internal/wire) — so the byte ledger reflects tracing's real cost.
+func frameBytes(msg []byte, traced bool) int64 {
+	return int64(wire.FrameWireSize(len(msg), traced))
+}

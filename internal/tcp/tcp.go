@@ -73,6 +73,17 @@ type Config struct {
 	// Registry, when non-nil, receives live tcp_* and core_* metrics from
 	// this peer (exposed over /metrics by cmd/skypeer).
 	Registry *telemetry.Registry
+	// Spans, when non-nil, enables cross-peer causal tracing: every frame
+	// this peer sends carries a wire.TraceContext and both ends of every
+	// hop record transport stages (enqueue → dial → write, decode → handle
+	// → reply) into this log, exposed at /trace.jsonl and merged across
+	// peers by cmd/skytrace. Nil keeps frames on the v1 wire format and the
+	// tracing path at zero allocations.
+	Spans *telemetry.SpanLog
+	// Flight, when non-nil, records failure-path events (dead letters,
+	// decode failures, dial failures, reconnects, heartbeat failures) into
+	// a flight-recorder ring for post-mortem dumps.
+	Flight *telemetry.FlightRecorder
 	// Logf, when non-nil, receives transport diagnostics (dropped frames,
 	// decode failures, dead letters) that are otherwise only counted.
 	Logf func(format string, args ...any)
@@ -246,6 +257,7 @@ func (p *Peer) heartbeatLoop() {
 			}
 			if err := p.register(); err != nil {
 				p.met.HeartbeatFailures.Inc()
+				p.flightEvent("heartbeat_failure", nil, "lease re-registration failed: %v", err)
 				p.logf("tcp: peer %d: lease re-registration failed: %v", p.dev.ID, err)
 			}
 		case <-p.ctx.Done():
@@ -360,12 +372,18 @@ func (p *Peer) serve(conn net.Conn) {
 	defer p.met.OpenConns.Dec()
 	for {
 		conn.SetReadDeadline(time.Now().Add(p.cfg.ReadIdleTimeout))
-		msg, err := wire.ReadFrame(conn)
+		msg, ctx, traced, err := wire.ReadFrameCtx(conn)
 		if err != nil {
 			return // EOF, idle timeout, or shutdown
 		}
+		wireSize := wire.FrameWireSize(len(msg), traced)
 		p.met.MessagesIn.Inc()
-		p.met.BytesIn.Add(frameBytes(msg))
+		p.met.BytesIn.Add(int64(wireSize))
+		var tc *wire.TraceContext
+		if traced {
+			tc = &ctx
+			p.traceStage(tc, telemetry.StageDecode, core.DeviceID(tc.Parent), wireSize)
+		}
 		kind, err := wire.Peek(msg)
 		if err != nil {
 			// The frame itself parsed; an unrecognized kind is skippable
@@ -379,28 +397,31 @@ func (p *Peer) serve(conn net.Conn) {
 			q, err := wire.DecodeQuery(msg)
 			if err != nil {
 				p.met.DecodeFailures.Inc()
+				p.flightEvent("decode_failure", tc, "bad query frame from %s: %v", conn.RemoteAddr(), err)
 				p.logf("tcp: peer %d: closing %s: bad query frame: %v", p.dev.ID, conn.RemoteAddr(), err)
 				return
 			}
-			p.handleQuery(q)
+			p.handleQuery(q, tc)
 		case wire.KindResult:
 			r, err := wire.DecodeResult(msg)
 			if err != nil {
 				p.met.DecodeFailures.Inc()
+				p.flightEvent("decode_failure", tc, "bad result frame from %s: %v", conn.RemoteAddr(), err)
 				p.logf("tcp: peer %d: closing %s: bad result frame: %v", p.dev.ID, conn.RemoteAddr(), err)
 				return
 			}
-			p.handleResult(r)
+			p.handleResult(r, tc)
 		}
 	}
 }
 
-// send queues one framed message for the managed link to the peer with the
-// given ID. A peer the directory has expired (lease lapsed) is skipped
-// outright — the liveness-aware fan-out that stops traffic to the dead.
-// Enqueued frames survive transient dial/write failures: the link's writer
-// retries under backoff until the frame exceeds RetryTimeout.
-func (p *Peer) send(to core.DeviceID, msg []byte) {
+// send queues one framed message (with its trace context, nil when tracing
+// is off) for the managed link to the peer with the given ID. A peer the
+// directory has expired (lease lapsed) is skipped outright — the
+// liveness-aware fan-out that stops traffic to the dead. Enqueued frames
+// survive transient dial/write failures: the link's writer retries under
+// backoff until the frame exceeds RetryTimeout.
+func (p *Peer) send(to core.DeviceID, msg []byte, tc *wire.TraceContext) {
 	if _, ok := p.dir.Lookup(to); !ok {
 		p.met.SendsSuppressed.Inc()
 		return
@@ -416,27 +437,37 @@ func (p *Peer) send(to core.DeviceID, msg []byte) {
 		p.conns[to] = pc
 	}
 	p.mu.Unlock()
-	pc.enqueue(msg)
+	pc.enqueue(msg, tc)
 }
 
 // handleQuery runs the remote side of the flood: process once, return the
 // reduced skyline to the originator, keep flooding with the possibly
-// upgraded filter.
-func (p *Peer) handleQuery(q core.Query) {
+// upgraded filter. tc is the inbound frame's trace context (nil when
+// untraced); replies reuse its hop number, forwards increment it.
+func (p *Peer) handleQuery(q core.Query, tc *wire.TraceContext) {
 	if !p.dev.FirstTime(q.Key()) {
 		return
 	}
+	hop := uint8(1)
+	if tc != nil {
+		hop = tc.Hop
+		p.traceStage(tc, telemetry.StageHandle, core.DeviceID(tc.Parent), 0)
+	}
 	res := p.dev.Process(q)
-	p.send(q.Org, wire.EncodeResult(wire.Result{
+	reply := wire.EncodeResult(wire.Result{
 		Key: q.Key(), From: p.dev.ID, Tuples: res.Skyline,
-	}))
+	})
+	rtc := p.traceCtx(q.Key(), hop)
+	p.traceStage(rtc, telemetry.StageReply, q.Org, wire.FrameWireSize(len(reply), rtc != nil))
+	p.send(q.Org, reply, rtc)
 	fwd := wire.EncodeQuery(core.Forwardable(q, res))
+	ftc := p.traceCtx(q.Key(), hop+1)
 	p.mu.Lock()
 	neighbors := append([]core.DeviceID(nil), p.neighbors...)
 	p.mu.Unlock()
 	for _, nb := range neighbors {
 		if nb != q.Org {
-			p.send(nb, fwd)
+			p.send(nb, fwd, ftc)
 		}
 	}
 }
@@ -445,7 +476,10 @@ func (p *Peer) handleQuery(q core.Query) {
 // deduplicated by sender: a retried or chaos-duplicated frame must not
 // count twice toward the quorum (it would complete a query early with
 // devices missing).
-func (p *Peer) handleResult(r wire.Result) {
+func (p *Peer) handleResult(r wire.Result, tc *wire.TraceContext) {
+	if tc != nil {
+		p.traceStage(tc, telemetry.StageResult, core.DeviceID(r.From), 0)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	pq := p.pending[r.Key]
@@ -484,6 +518,9 @@ var ErrClosed = errors.New("tcp: peer closed")
 func (p *Peer) Query(d float64, totalPeers int) (QueryResult, error) {
 	start := time.Now()
 	q, res := p.dev.Originate(p.pos, d)
+	if p.cfg.Spans != nil {
+		p.cfg.Spans.Begin(spanKey(q.Key()), nowSecs())
+	}
 	want := int(float64(totalPeers-1)*p.cfg.Quorum + 0.999999)
 	if want < 0 {
 		want = 0
@@ -506,8 +543,9 @@ func (p *Peer) Query(d float64, totalPeers int) (QueryResult, error) {
 	complete := want == 0
 	if !complete {
 		enc := wire.EncodeQuery(q)
+		qtc := p.traceCtx(q.Key(), 1)
 		for _, nb := range neighbors {
-			p.send(nb, enc)
+			p.send(nb, enc, qtc)
 		}
 		timer := time.NewTimer(p.cfg.QueryTimeout)
 		defer timer.Stop()
@@ -531,6 +569,12 @@ func (p *Peer) Query(d float64, totalPeers int) (QueryResult, error) {
 	p.met.QueryLatency.Observe(out.Elapsed.Seconds())
 	if complete {
 		p.met.QueriesCompleted.Inc()
+	}
+	if p.cfg.Spans != nil {
+		if !complete {
+			p.cfg.Spans.MarkPartial(spanKey(q.Key()))
+		}
+		p.cfg.Spans.Complete(spanKey(q.Key()), nowSecs(), len(out.Skyline))
 	}
 	return out, nil
 }

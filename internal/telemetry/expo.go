@@ -38,6 +38,12 @@ func (r *Registry) collect() []snapshotMetric {
 		return nil
 	}
 	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+	r.mu.Lock()
 	keys := append([]string(nil), r.order...)
 	byKey := make(map[string]any, len(keys))
 	for _, k := range keys {

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"sync/atomic"
+)
+
+// FlightRecorder is a fixed-size lock-free ring of recent events, modeled on
+// an aircraft flight recorder: instrumented code records continuously at
+// negligible cost, nobody reads it in the steady state, and when something
+// goes wrong (a recall drop, a dead-letter, a decode failure) the last N
+// events are snapshotted to disk as a post-mortem artifact.
+//
+// Record is wait-free apart from the event allocation: a single atomic
+// fetch-add claims a slot and a single atomic pointer store publishes the
+// event, so writers never block each other or a concurrent Snapshot. A
+// snapshot taken while writers are active is a best-effort consistent view —
+// a slot being overwritten mid-snapshot yields either the old or the new
+// event, never a torn one. All methods are safe on a nil receiver, so the
+// disabled path is one branch and zero allocations.
+type FlightRecorder struct {
+	slots []atomic.Pointer[FlightEvent]
+	mask  uint64
+	seq   atomic.Uint64
+}
+
+// FlightEvent is one recorded moment. Fields beyond Seq/T/Kind are
+// optional, event-kind-dependent context.
+type FlightEvent struct {
+	// Seq is the global record order (assigned by Record).
+	Seq uint64 `json:"seq"`
+	// T is the event time in Unix seconds.
+	T float64 `json:"t"`
+	// Kind names the event (e.g. "dead_letter", "decode_failure").
+	Kind string `json:"kind"`
+	// Peer is the device the event happened on.
+	Peer int32 `json:"peer"`
+	// Org/Cnt tie the event to a query when one is in scope.
+	Org int32 `json:"org,omitempty"`
+	Cnt int32 `json:"cnt,omitempty"`
+	// Detail is free-form context (error text, destination, counts).
+	Detail string `json:"detail,omitempty"`
+}
+
+// NewFlightRecorder returns a recorder keeping the most recent `size`
+// events, rounded up to a power of two (minimum 16).
+func NewFlightRecorder(size int) *FlightRecorder {
+	n := 16
+	for n < size {
+		n <<= 1
+	}
+	return &FlightRecorder{slots: make([]atomic.Pointer[FlightEvent], n), mask: uint64(n - 1)}
+}
+
+// Record appends one event, overwriting the oldest when the ring is full.
+// Safe on a nil receiver (no-op).
+func (f *FlightRecorder) Record(ev FlightEvent) {
+	if f == nil {
+		return
+	}
+	// Copy into a fresh allocation after the nil check: taking &ev directly
+	// would make the parameter escape and the disabled path allocate.
+	e := new(FlightEvent)
+	*e = ev
+	e.Seq = f.seq.Add(1) - 1
+	f.slots[e.Seq&f.mask].Store(e)
+}
+
+// Len returns the number of events currently held (0 on nil).
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	n := f.seq.Load()
+	if n > uint64(len(f.slots)) {
+		n = uint64(len(f.slots))
+	}
+	return int(n)
+}
+
+// Snapshot returns the retained events in record order. Safe to call while
+// writers are active.
+func (f *FlightRecorder) Snapshot() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	out := make([]FlightEvent, 0, len(f.slots))
+	for i := range f.slots {
+		if e := f.slots[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// WriteJSONL dumps the snapshot one JSON object per line.
+func (f *FlightRecorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range f.Snapshot() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DumpFile writes the snapshot to path (overwriting), the disk artifact a
+// triggered recorder leaves behind. No-op on a nil receiver.
+func (f *FlightRecorder) DumpFile(path string) error {
+	if f == nil {
+		return nil
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.WriteJSONL(file); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}

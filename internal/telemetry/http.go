@@ -28,12 +28,39 @@ func JSONHandler(r *Registry) http.Handler {
 	})
 }
 
+// TraceHandler serves a span log as JSONL, the format cmd/skytrace pulls
+// from each peer's /trace.jsonl and merges. A nil log serves an empty body.
+func TraceHandler(l *SpanLog) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		_ = l.WriteJSONL(w)
+	})
+}
+
+// FlightHandler serves a flight recorder's current ring as JSONL. A nil
+// recorder serves an empty body.
+func FlightHandler(f *FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		_ = f.WriteJSONL(w)
+	})
+}
+
 // NewMux returns a mux serving /metrics (Prometheus text), /metrics.json
 // (JSON snapshot), and the standard /debug/pprof profiling endpoints.
 func NewMux(r *Registry) *http.ServeMux {
+	return NewObsMux(r, nil, nil)
+}
+
+// NewObsMux is NewMux plus the tracing endpoints: /trace.jsonl serves the
+// span log and /flight.jsonl the flight recorder (both serve empty bodies
+// when nil, so callers wire what they have).
+func NewObsMux(r *Registry, spans *SpanLog, flight *FlightRecorder) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(r))
 	mux.Handle("/metrics.json", JSONHandler(r))
+	mux.Handle("/trace.jsonl", TraceHandler(spans))
+	mux.Handle("/flight.jsonl", FlightHandler(flight))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

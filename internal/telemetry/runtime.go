@@ -1,0 +1,27 @@
+package telemetry
+
+import "runtime"
+
+// RegisterRuntimeMetrics wires Go runtime health gauges into a registry:
+// goroutine count, heap bytes, GC cycle count and total pause time. Values
+// are sampled lazily by an OnCollect hook, so an idle registry costs
+// nothing and a scrape pays one ReadMemStats. No-op on a nil registry.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	goroutines := r.Gauge("go_goroutines", "current number of goroutines")
+	heap := r.Gauge("go_heap_alloc_bytes", "bytes of allocated heap objects")
+	sys := r.Gauge("go_sys_bytes", "bytes obtained from the OS")
+	gcCycles := r.Gauge("go_gc_cycles_total", "completed GC cycles")
+	gcPause := r.Gauge("go_gc_pause_ns_total", "cumulative GC stop-the-world pause, nanoseconds")
+	r.OnCollect(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		heap.Set(int64(ms.HeapAlloc))
+		sys.Set(int64(ms.Sys))
+		gcCycles.Set(int64(ms.NumGC))
+		gcPause.Set(int64(ms.PauseTotalNs))
+	})
+}

@@ -24,6 +24,19 @@ const (
 	StageComplete     = "complete"
 )
 
+// Transport stage kinds recorded by the live TCP tier: one frame's journey
+// is enqueue → (dial) → write on the sender and decode → handle → (reply)
+// on the receiver. Merging the write/decode pairs across peers (see
+// internal/trace) recovers the causal per-hop timeline.
+const (
+	StageEnqueue = "enqueue"
+	StageDial    = "dial"
+	StageWrite   = "write"
+	StageDecode  = "decode"
+	StageHandle  = "handle"
+	StageReply   = "reply"
+)
+
 // SpanKey identifies one query instance (the paper's (id, cnt) pair).
 type SpanKey struct {
 	Org int32 `json:"org"`
@@ -42,10 +55,18 @@ type Stage struct {
 	// Tuples counts tuples involved (local skyline size, result size).
 	Tuples int `json:"tuples,omitempty"`
 	// Hops is the network distance the triggering message travelled
-	// (flood depth for process stages, route length for result stages).
+	// (flood depth for process stages, route length for result stages,
+	// TCP hop number for transport stages).
 	Hops int `json:"hops,omitempty"`
 	// Pruned counts tuples the query's filter(s) removed at this device.
 	Pruned int `json:"pruned,omitempty"`
+	// Peer, for transport stages, is the other end of the hop: the
+	// destination for enqueue/dial/write/reply, the sender for
+	// decode/handle. Zero-valued stages omit it, so simulator spans (and
+	// their goldens) are unchanged.
+	Peer int32 `json:"peer,omitempty"`
+	// Bytes is the on-wire size of the frame a transport stage moved.
+	Bytes int `json:"bytes,omitempty"`
 }
 
 // Span is one query's assembled timeline with aggregate tallies.
@@ -150,6 +171,25 @@ func (l *SpanLog) Observe(k SpanKey, st Stage) {
 	}
 }
 
+// ObserveAuto is Observe for peers that did not originate the query: if the
+// span is unknown it is opened first (without an issue stage — only the
+// originator issues), starting at the stage's timestamp. Remote peers in the
+// live runtime use it so a forwarded query's decode/handle stages land in a
+// span keyed by the same (org, cnt) the originator used, and a later merge
+// (internal/trace) can stitch the per-peer logs into one timeline.
+func (l *SpanLog) ObserveAuto(k SpanKey, st Stage) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if l.spans[k] == nil {
+		l.spans[k] = &Span{Org: k.Org, Cnt: k.Cnt, Start: st.T}
+		l.order = append(l.order, k)
+	}
+	l.mu.Unlock()
+	l.Observe(k, st)
+}
+
 // MarkPartial flags an open span as deadline-finalized; call before
 // Complete.
 func (l *SpanLog) MarkPartial(k SpanKey) {
@@ -216,4 +256,16 @@ func (l *SpanLog) WriteJSON(w io.Writer) error {
 		spans = []*Span{}
 	}
 	return enc.Encode(spans)
+}
+
+// WriteJSONL dumps every span as one JSON object per line — the /trace.jsonl
+// wire format cmd/skytrace consumes.
+func (l *SpanLog) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, sp := range l.Spans() {
+		if err := enc.Encode(sp); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -165,6 +165,57 @@ func (h *Histogram) Mean() float64 {
 	return h.Sum() / float64(n)
 }
 
+// Quantile estimates the p-quantile (0 ≤ p ≤ 1) from the fixed buckets by
+// linear interpolation inside the bucket holding the target rank — the same
+// estimate Prometheus's histogram_quantile computes. Samples in the +Inf
+// bucket clamp to the largest finite bound (there is nothing better to
+// report without retained samples). Returns 0 on a nil or empty histogram.
+// The estimate's resolution is the bucket width; summary lines that no
+// longer retain raw samples trade exactness for O(1) memory here.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	cum := int64(0)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: clamp to the largest finite bound.
+				if len(h.bounds) == 0 {
+					return 0
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			return lo + (hi-lo)*(rank-float64(cum))/float64(c)
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Registry holds named metrics. The zero value is not usable; call
 // NewRegistry. A nil *Registry is the disabled state: its constructors
 // return nil metrics whose methods no-op.
@@ -172,6 +223,20 @@ type Registry struct {
 	mu    sync.Mutex
 	byKey map[string]any
 	order []string
+	hooks []func()
+}
+
+// OnCollect registers a hook that runs before every exposition pass
+// (WritePrometheus, Snapshot, Bytes). Lazily sampled metrics — runtime
+// gauges, queue depths held elsewhere — use it to refresh their gauges only
+// when someone is actually looking. No-op on a nil registry.
+func (r *Registry) OnCollect(f func()) {
+	if r == nil || f == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hooks = append(r.hooks, f)
+	r.mu.Unlock()
 }
 
 // NewRegistry returns an empty registry.

@@ -1,0 +1,291 @@
+// Package trace merges per-peer span logs from the live TCP runtime into
+// causal per-query timelines. Every peer records only its own half of each
+// network hop (the sender's write, the receiver's decode — see
+// internal/tcp's tracing and telemetry.Stage); this package joins those
+// halves across peers into Hop records with per-hop latency, reconstructs
+// the flood tree, and finds the critical path that determined the query's
+// end-to-end latency. cmd/skytrace is its CLI front end.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"manetskyline/internal/telemetry"
+)
+
+// Hop is one frame's journey across one TCP link, joined from the sender's
+// write stage and the receiver's decode stage.
+type Hop struct {
+	// From and To are the sending and receiving devices.
+	From int32 `json:"from"`
+	To   int32 `json:"to"`
+	// Kind is "query" for flood frames and "result" for replies to the
+	// originator (inferred from direction: frames to the originator carry
+	// results, every other frame forwards the query).
+	Kind string `json:"kind"`
+	// Num is the TCP hop number the frame carried (1 at the originator).
+	Num int `json:"num"`
+	// SendT and RecvT are the write and decode timestamps; Latency is
+	// their difference. Lost hops (no matching decode) have RecvT 0.
+	SendT   float64 `json:"send_t"`
+	RecvT   float64 `json:"recv_t,omitempty"`
+	Latency float64 `json:"latency,omitempty"`
+	// Bytes is the frame's on-wire size.
+	Bytes int `json:"bytes"`
+	// Lost marks a write that never matched a decode: the frame (or the
+	// peer that should have decoded it) died en route.
+	Lost bool `json:"lost,omitempty"`
+}
+
+// PathStep is one link of a timeline's critical path.
+type PathStep struct {
+	Hop
+	// ArriveT is when this step's frame was decoded (SendT for lost).
+	ArriveT float64 `json:"arrive_t"`
+}
+
+// Timeline is one query's merged causal record across every peer that saw
+// it.
+type Timeline struct {
+	Org int32 `json:"org"`
+	Cnt int32 `json:"cnt"`
+	// Start/End/Done/Partial/ResultTuples come from the originator's span.
+	Start        float64 `json:"start"`
+	End          float64 `json:"end"`
+	Done         bool    `json:"done"`
+	Partial      bool    `json:"partial,omitempty"`
+	ResultTuples int     `json:"result_tuples"`
+	// Devices is the number of distinct devices that recorded stages.
+	Devices int `json:"devices"`
+	// Stages is every stage from every peer, time-ordered.
+	Stages []telemetry.Stage `json:"stages"`
+	// Hops is every cross-peer hop, ordered by send time.
+	Hops []Hop `json:"hops"`
+	// Critical is the hop chain that produced the last result to arrive
+	// before the query ended — the path that set the query's latency.
+	Critical []PathStep `json:"critical,omitempty"`
+}
+
+// Duration is End-Start for completed timelines.
+func (tl *Timeline) Duration() float64 {
+	if !tl.Done {
+		return 0
+	}
+	return tl.End - tl.Start
+}
+
+// ReadSpansJSONL decodes one peer's /trace.jsonl dump.
+func ReadSpansJSONL(r io.Reader) ([]*telemetry.Span, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var out []*telemetry.Span
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		sp := &telemetry.Span{}
+		if err := json.Unmarshal(sc.Bytes(), sp); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// stageRank orders same-timestamp stages causally for deterministic merges.
+var stageRank = map[string]int{
+	telemetry.StageIssue:    0,
+	telemetry.StageEnqueue:  1,
+	telemetry.StageDial:     2,
+	telemetry.StageWrite:    3,
+	telemetry.StageDecode:   4,
+	telemetry.StageHandle:   5,
+	telemetry.StageProcess:  6,
+	telemetry.StageReply:    7,
+	telemetry.StageResult:   8,
+	telemetry.StageRetry:    9,
+	telemetry.StageComplete: 10,
+}
+
+// Merge joins spans collected from many peers into one Timeline per query,
+// ordered by (org, cnt). Spans with the same key are concatenated: the
+// originator's span contributes the issue/complete bracket, every other
+// peer's auto-opened span contributes its transport stages.
+func Merge(spans []*telemetry.Span) []*Timeline {
+	byKey := map[[2]int32]*Timeline{}
+	var order [][2]int32
+	for _, sp := range spans {
+		if sp == nil {
+			continue
+		}
+		k := [2]int32{sp.Org, sp.Cnt}
+		tl := byKey[k]
+		if tl == nil {
+			tl = &Timeline{Org: sp.Org, Cnt: sp.Cnt}
+			byKey[k] = tl
+			order = append(order, k)
+		}
+		tl.Stages = append(tl.Stages, sp.Stages...)
+		// The originator's span is the one holding the issue stage; it
+		// carries the authoritative bracket.
+		for _, st := range sp.Stages {
+			if st.Kind == telemetry.StageIssue {
+				tl.Start = sp.Start
+				tl.End = sp.End
+				tl.Done = sp.Done
+				tl.Partial = sp.Partial
+				tl.ResultTuples = sp.ResultTuples
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i][0] != order[j][0] {
+			return order[i][0] < order[j][0]
+		}
+		return order[i][1] < order[j][1]
+	})
+	out := make([]*Timeline, 0, len(order))
+	for _, k := range order {
+		tl := byKey[k]
+		finish(tl)
+		out = append(out, tl)
+	}
+	return out
+}
+
+// finish sorts a timeline's stages, joins hops, and derives aggregates.
+func finish(tl *Timeline) {
+	sort.SliceStable(tl.Stages, func(i, j int) bool {
+		a, b := tl.Stages[i], tl.Stages[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		return stageRank[a.Kind] < stageRank[b.Kind]
+	})
+	devs := map[int32]bool{}
+	for _, st := range tl.Stages {
+		devs[st.Device] = true
+	}
+	tl.Devices = len(devs)
+	tl.Hops = joinHops(tl)
+	tl.Critical = criticalPath(tl)
+}
+
+// joinHops pairs write stages with decode stages per (from, to) link. One
+// TCP link delivers frames in order, so the k-th write on a link matches
+// the k-th decode on the same link — queue semantics, no frame IDs needed.
+func joinHops(tl *Timeline) []Hop {
+	type link struct{ from, to int32 }
+	writes := map[link][]telemetry.Stage{}
+	decodes := map[link][]telemetry.Stage{}
+	for _, st := range tl.Stages {
+		switch st.Kind {
+		case telemetry.StageWrite:
+			l := link{from: st.Device, to: st.Peer}
+			writes[l] = append(writes[l], st)
+		case telemetry.StageDecode:
+			l := link{from: st.Peer, to: st.Device}
+			decodes[l] = append(decodes[l], st)
+		}
+	}
+	var hops []Hop
+	for l, ws := range writes {
+		ds := decodes[l]
+		for i, w := range ws {
+			h := Hop{
+				From: l.from, To: l.to, Num: w.Hops, SendT: w.T, Bytes: w.Bytes,
+				Kind: "query",
+			}
+			if l.to == tl.Org {
+				h.Kind = "result"
+			}
+			if i < len(ds) {
+				h.RecvT = ds[i].T
+				h.Latency = h.RecvT - h.SendT
+			} else {
+				h.Lost = true
+			}
+			hops = append(hops, h)
+		}
+	}
+	sort.SliceStable(hops, func(i, j int) bool {
+		a, b := hops[i], hops[j]
+		if a.SendT != b.SendT {
+			return a.SendT < b.SendT
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	return hops
+}
+
+// criticalPath reconstructs the hop chain behind the last result that
+// arrived within the query window: the query's flood path to that device,
+// plus its reply hop. This is the path whose latency the originator felt.
+func criticalPath(tl *Timeline) []PathStep {
+	// Last result hop that arrived (End == 0 means the originator span is
+	// missing; fall back to the last arrival overall).
+	var last *Hop
+	for i := range tl.Hops {
+		h := &tl.Hops[i]
+		if h.Kind != "result" || h.Lost {
+			continue
+		}
+		if tl.Done && tl.End > 0 && h.RecvT > tl.End {
+			continue
+		}
+		if last == nil || h.RecvT > last.RecvT {
+			last = h
+		}
+	}
+	if last == nil {
+		return nil
+	}
+	// firstQuery[d] is the query hop that first delivered the flood to d —
+	// the tree edge along which d joined the query.
+	firstQuery := map[int32]Hop{}
+	for _, h := range tl.Hops {
+		if h.Kind != "query" || h.Lost {
+			continue
+		}
+		if prev, ok := firstQuery[h.To]; !ok || h.RecvT < prev.RecvT {
+			firstQuery[h.To] = h
+		}
+	}
+	// Walk back from the replying device to the originator.
+	var chain []PathStep
+	for at := last.From; at != tl.Org; {
+		h, ok := firstQuery[at]
+		if !ok {
+			break // incomplete records (peer died before dumping)
+		}
+		chain = append(chain, PathStep{Hop: h, ArriveT: h.RecvT})
+		if h.From == at { // defensive: malformed self-loop
+			break
+		}
+		at = h.From
+		if len(chain) > len(tl.Hops) {
+			break // cycle guard
+		}
+	}
+	// Reverse into origin→device order, then append the reply hop.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	chain = append(chain, PathStep{Hop: *last, ArriveT: last.RecvT})
+	return chain
+}

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"manetskyline/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// threePeerSpans builds the per-peer span logs of one query flooding a
+// 0—1—2 line: deterministic timestamps, every stage both ends of every hop
+// would record. This is the synthetic equivalent of three /trace.jsonl
+// dumps.
+func threePeerSpans() []*telemetry.Span {
+	k := telemetry.SpanKey{Org: 0, Cnt: 1}
+	org := telemetry.NewSpanLog()
+	org.Begin(k, 0)
+	org.Observe(k, telemetry.Stage{T: 0.0001, Kind: telemetry.StageEnqueue, Device: 0, Peer: 1, Hops: 1, Bytes: 54})
+	org.Observe(k, telemetry.Stage{T: 0.0005, Kind: telemetry.StageWrite, Device: 0, Peer: 1, Hops: 1, Bytes: 54})
+	org.Observe(k, telemetry.Stage{T: 0.0050, Kind: telemetry.StageDecode, Device: 0, Peer: 1, Hops: 1, Bytes: 80})
+	org.Observe(k, telemetry.Stage{T: 0.0051, Kind: telemetry.StageResult, Device: 0, Peer: 1})
+	org.Observe(k, telemetry.Stage{T: 0.0090, Kind: telemetry.StageDecode, Device: 0, Peer: 2, Hops: 2, Bytes: 90})
+	org.Observe(k, telemetry.Stage{T: 0.0091, Kind: telemetry.StageResult, Device: 0, Peer: 2})
+	org.Complete(k, 0.0095, 12)
+
+	relay := telemetry.NewSpanLog()
+	relay.ObserveAuto(k, telemetry.Stage{T: 0.0020, Kind: telemetry.StageDecode, Device: 1, Peer: 0, Hops: 1, Bytes: 54})
+	relay.ObserveAuto(k, telemetry.Stage{T: 0.0021, Kind: telemetry.StageHandle, Device: 1, Peer: 0, Hops: 1})
+	relay.ObserveAuto(k, telemetry.Stage{T: 0.0025, Kind: telemetry.StageReply, Device: 1, Peer: 0, Hops: 1, Bytes: 80})
+	relay.ObserveAuto(k, telemetry.Stage{T: 0.0030, Kind: telemetry.StageWrite, Device: 1, Peer: 0, Hops: 1, Bytes: 80})
+	relay.ObserveAuto(k, telemetry.Stage{T: 0.0032, Kind: telemetry.StageWrite, Device: 1, Peer: 2, Hops: 2, Bytes: 60})
+
+	far := telemetry.NewSpanLog()
+	far.ObserveAuto(k, telemetry.Stage{T: 0.0062, Kind: telemetry.StageDecode, Device: 2, Peer: 1, Hops: 2, Bytes: 60})
+	far.ObserveAuto(k, telemetry.Stage{T: 0.0063, Kind: telemetry.StageHandle, Device: 2, Peer: 1, Hops: 2})
+	far.ObserveAuto(k, telemetry.Stage{T: 0.0070, Kind: telemetry.StageWrite, Device: 2, Peer: 0, Hops: 2, Bytes: 90})
+
+	var spans []*telemetry.Span
+	spans = append(spans, org.Spans()...)
+	spans = append(spans, relay.Spans()...)
+	spans = append(spans, far.Spans()...)
+	return spans
+}
+
+func TestMergeJoinsHops(t *testing.T) {
+	tls := Merge(threePeerSpans())
+	if len(tls) != 1 {
+		t.Fatalf("timelines = %d, want 1", len(tls))
+	}
+	tl := tls[0]
+	if tl.Org != 0 || tl.Cnt != 1 || !tl.Done || tl.ResultTuples != 12 {
+		t.Fatalf("timeline header = %+v", tl)
+	}
+	if tl.Devices != 3 {
+		t.Errorf("devices = %d, want 3", tl.Devices)
+	}
+	if len(tl.Hops) != 4 {
+		t.Fatalf("hops = %d, want 4: %+v", len(tl.Hops), tl.Hops)
+	}
+	// Hops in send order: 0→1 query, 1→0 result, 1→2 query, 2→0 result.
+	type want struct {
+		from, to int32
+		kind     string
+		lat      float64
+	}
+	wants := []want{
+		{0, 1, "query", 0.0015},
+		{1, 0, "result", 0.0020},
+		{1, 2, "query", 0.0030},
+		{2, 0, "result", 0.0020},
+	}
+	for i, wnt := range wants {
+		h := tl.Hops[i]
+		if h.From != wnt.from || h.To != wnt.to || h.Kind != wnt.kind || h.Lost {
+			t.Errorf("hop %d = %+v, want %+v", i, h, wnt)
+		}
+		if diff := h.Latency - wnt.lat; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("hop %d latency = %g, want %g", i, h.Latency, wnt.lat)
+		}
+	}
+	// Critical path: flood 0→1→2, reply 2→0.
+	if len(tl.Critical) != 3 {
+		t.Fatalf("critical path = %+v, want 3 steps", tl.Critical)
+	}
+	cp := tl.Critical
+	if cp[0].From != 0 || cp[0].To != 1 || cp[1].From != 1 || cp[1].To != 2 ||
+		cp[2].From != 2 || cp[2].To != 0 || cp[2].Kind != "result" {
+		t.Errorf("critical path = %+v", cp)
+	}
+}
+
+func TestMergeLostHop(t *testing.T) {
+	k := telemetry.SpanKey{Org: 3, Cnt: 0}
+	l := telemetry.NewSpanLog()
+	l.Begin(k, 0)
+	l.Observe(k, telemetry.Stage{T: 0.001, Kind: telemetry.StageWrite, Device: 3, Peer: 4, Hops: 1, Bytes: 40})
+	tls := Merge(l.Spans())
+	if len(tls) != 1 || len(tls[0].Hops) != 1 {
+		t.Fatalf("timelines = %+v", tls)
+	}
+	h := tls[0].Hops[0]
+	if !h.Lost || h.RecvT != 0 {
+		t.Errorf("unmatched write should be a lost hop: %+v", h)
+	}
+	if tls[0].Critical != nil {
+		t.Errorf("no result arrived, critical path should be empty: %+v", tls[0].Critical)
+	}
+}
+
+func TestReadSpansJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	log := telemetry.NewSpanLog()
+	log.Begin(telemetry.SpanKey{Org: 9, Cnt: 2}, 1.5)
+	log.Complete(telemetry.SpanKey{Org: 9, Cnt: 2}, 2.5, 3)
+	if err := log.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpansJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Org != 9 || got[0].End != 2.5 || !got[0].Done {
+		t.Fatalf("round trip = %+v", got[0])
+	}
+}
+
+// TestMergedReportGolden pins the merged skytrace report byte-for-byte:
+// the three-peer scenario above must always render the same timeline,
+// hop table, and critical path. Regenerate with -update.
+func TestMergedReportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, Merge(threePeerSpans())); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "merged_report.golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("merged report drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"manetskyline/internal/stats"
+)
+
+// WriteReport renders merged timelines as a deterministic human-readable
+// report: one block per query with its hop table, per-hop latency
+// percentiles, and the critical path. Times are printed relative to each
+// query's start so reports are readable (and goldens stable) regardless of
+// the absolute clock.
+func WriteReport(w io.Writer, tls []*Timeline) error {
+	for i, tl := range tls {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := writeTimeline(w, tl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTimeline(w io.Writer, tl *Timeline) error {
+	status := "incomplete"
+	switch {
+	case tl.Done && tl.Partial:
+		status = "partial"
+	case tl.Done:
+		status = "complete"
+	}
+	dur := ""
+	if tl.Done {
+		dur = fmt.Sprintf(" in %s", ms(tl.Duration()))
+	}
+	if _, err := fmt.Fprintf(w, "query %d/%d: %s%s, %d devices, %d hops, %d result tuples\n",
+		tl.Org, tl.Cnt, status, dur, tl.Devices, len(tl.Hops), tl.ResultTuples); err != nil {
+		return err
+	}
+	base := tl.Start
+	if base == 0 && len(tl.Hops) > 0 {
+		base = tl.Hops[0].SendT
+	}
+	var lats []float64
+	for _, h := range tl.Hops {
+		if !h.Lost {
+			lats = append(lats, h.Latency)
+		}
+		lost := ""
+		if h.Lost {
+			lost = "  LOST"
+		}
+		lat := "      -"
+		if !h.Lost {
+			lat = fmt.Sprintf("%7s", ms(h.Latency))
+		}
+		if _, err := fmt.Fprintf(w, "  hop %2d %-6s %3d -> %-3d  sent +%s  lat %s  %dB%s\n",
+			h.Num, h.Kind, h.From, h.To, ms(h.SendT-base), lat, h.Bytes, lost); err != nil {
+			return err
+		}
+	}
+	if len(lats) > 0 {
+		if _, err := fmt.Fprintf(w, "  per-hop latency: p50 %s  p95 %s  max %s\n",
+			ms(stats.Percentile(lats, 50)), ms(stats.Percentile(lats, 95)),
+			ms(stats.Percentile(lats, 100))); err != nil {
+			return err
+		}
+	}
+	if len(tl.Critical) > 0 {
+		total := tl.Critical[len(tl.Critical)-1].ArriveT - base
+		if _, err := fmt.Fprintf(w, "  critical path (%s):", ms(total)); err != nil {
+			return err
+		}
+		for i, st := range tl.Critical {
+			sep := " "
+			if i > 0 {
+				sep = " -> "
+			}
+			if _, err := fmt.Fprintf(w, "%s%d-%d(+%s)", sep, st.From, st.To, ms(st.ArriveT-base)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ms renders a duration in seconds as fixed-point milliseconds.
+func ms(secs float64) string {
+	return fmt.Sprintf("%.2fms", secs*1e3)
+}

@@ -7,17 +7,91 @@ import (
 )
 
 // Stream framing for TCP transports: every message is prefixed by a 4-byte
-// little-endian length. MaxFrame bounds a frame on read so a corrupt or
-// hostile peer cannot force an unbounded allocation.
+// little-endian header word. MaxFrame bounds a frame on read so a corrupt
+// or hostile peer cannot force an unbounded allocation.
+//
+// The header word is versioned via its top bit. Version 1 (the original
+// format) uses the word as a plain payload length. Version 2 sets bit 31
+// (traceFlag) and carries a fixed-size TraceContext between the header and
+// the message, so distributed tracing rides inside the existing framing:
+//
+//	v1 frame := len:uint32                    msg[len]
+//	v2 frame := (len|traceFlag):uint32  ctx[10]  msg[len-10]
+//
+// where the flagged length covers the context plus the message, so a
+// forwarder that only understands "read length, copy that many bytes" (see
+// ReadRawFrame) stays correct without decoding the context. A v1-only
+// reader rejects a v2 frame loudly (the flagged length exceeds MaxFrame)
+// instead of misparsing it; a v2 reader accepts both versions, which keeps
+// mixed fleets safe during rollout.
 const MaxFrame = 64 << 20
 
-// WriteFrame writes one length-prefixed message.
+// traceFlag marks a frame that carries a TraceContext after the header.
+const traceFlag = 1 << 31
+
+// TraceContextSize is the encoded size of a TraceContext.
+const TraceContextSize = 10
+
+// TraceContext is the compact causal-trace header a traced frame carries:
+// the query identity (the paper's (originator, counter) pair doubles as the
+// trace ID), the hop number this frame represents, and the peer that sent
+// it. It is deliberately tiny — ten bytes against kilobyte result frames —
+// so tracing perturbs the byte ledger it exists to explain as little as
+// possible.
+type TraceContext struct {
+	// Org and Cnt identify the query instance (the trace ID).
+	Org int32
+	Cnt uint8
+	// Hop is the TCP hop number of this transmission: 1 for a frame the
+	// originator sends, incremented by every forwarding peer.
+	Hop uint8
+	// Parent is the device that put this frame on the wire.
+	Parent int32
+}
+
+// appendTraceContext encodes tc.
+func appendTraceContext(b []byte, tc *TraceContext) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(tc.Org))
+	b = binary.LittleEndian.AppendUint32(b, uint32(tc.Parent))
+	b = append(b, tc.Cnt, tc.Hop)
+	return b
+}
+
+// decodeTraceContext decodes a TraceContextSize-byte context.
+func decodeTraceContext(b []byte) TraceContext {
+	return TraceContext{
+		Org:    int32(binary.LittleEndian.Uint32(b)),
+		Parent: int32(binary.LittleEndian.Uint32(b[4:])),
+		Cnt:    b[8],
+		Hop:    b[9],
+	}
+}
+
+// WriteFrame writes one length-prefixed message in the v1 format.
 func WriteFrame(w io.Writer, msg []byte) error {
+	return WriteFrameCtx(w, msg, nil)
+}
+
+// WriteFrameCtx writes one framed message; a non-nil tc upgrades the frame
+// to v2 with the trace context piggy-backed. A nil tc produces bytes
+// identical to WriteFrame, so untraced deployments stay on the v1 wire
+// format and tracing costs nothing when disabled.
+func WriteFrameCtx(w io.Writer, msg []byte, tc *TraceContext) error {
 	if len(msg) > MaxFrame {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(msg))
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if tc == nil {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(msg)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(msg)
+		return err
+	}
+	var hdr [4 + TraceContextSize]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(msg)+TraceContextSize)|traceFlag)
+	appendTraceContext(hdr[:4], tc)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -25,19 +99,82 @@ func WriteFrame(w io.Writer, msg []byte) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed message.
+// ReadFrame reads one length-prefixed message, accepting both frame
+// versions and discarding any trace context.
 func ReadFrame(r io.Reader) ([]byte, error) {
+	msg, _, _, err := ReadFrameCtx(r)
+	return msg, err
+}
+
+// ReadFrameCtx reads one framed message of either version. For a v2 frame
+// it also returns the trace context and traced=true; for a v1 frame the
+// context is zero and traced=false.
+func ReadFrameCtx(r io.Reader) (msg []byte, tc TraceContext, traced bool, err error) {
 	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return nil, tc, false, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
+	traced = n&traceFlag != 0
+	n &^= traceFlag
+	if traced {
+		if n < TraceContextSize {
+			return nil, tc, false, fmt.Errorf("wire: traced frame of %d bytes lacks a trace context", n)
+		}
+		n -= TraceContextSize
+	}
 	if n > MaxFrame {
-		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+		return nil, tc, false, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
-	msg := make([]byte, n)
-	if _, err := io.ReadFull(r, msg); err != nil {
-		return nil, err
+	if traced {
+		var raw [TraceContextSize]byte
+		if _, err = io.ReadFull(r, raw[:]); err != nil {
+			return nil, tc, false, err
+		}
+		tc = decodeTraceContext(raw[:])
 	}
-	return msg, nil
+	msg = make([]byte, n)
+	if _, err = io.ReadFull(r, msg); err != nil {
+		return nil, tc, false, err
+	}
+	return msg, tc, traced, nil
+}
+
+// FrameWireSize is the on-air size of one framed message: header word plus
+// trace context (when traced) plus payload. Transports use it so byte
+// ledgers reflect exactly what crossed the socket.
+func FrameWireSize(msgLen int, traced bool) int {
+	if traced {
+		return 4 + TraceContextSize + msgLen
+	}
+	return 4 + msgLen
+}
+
+// ReadRawFrame reads one frame of either version without decoding it: the
+// header word is returned verbatim and the body includes the trace context
+// when present. Frame-aware middleboxes (the chaos proxies) use it to
+// forward traced frames transparently.
+func ReadRawFrame(r io.Reader) (hdr [4]byte, body []byte, err error) {
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return hdr, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:]) &^ traceFlag
+	if n > MaxFrame+TraceContextSize {
+		return hdr, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	body = make([]byte, n)
+	if _, err = io.ReadFull(r, body); err != nil {
+		return hdr, nil, err
+	}
+	return hdr, body, nil
+}
+
+// WriteRawFrame writes a frame previously read by ReadRawFrame, preserving
+// its version bit and trace context byte-for-byte.
+func WriteRawFrame(w io.Writer, hdr [4]byte, body []byte) error {
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
 }

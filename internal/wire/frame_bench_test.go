@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func BenchmarkWriteFrameLegacy(b *testing.B) {
+	msg := make([]byte, 96)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := WriteFrame(io.Discard, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteFrameCtxNil(b *testing.B) {
+	msg := make([]byte, 96)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := WriteFrameCtx(io.Discard, msg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteFrameCtxTraced(b *testing.B) {
+	msg := make([]byte, 96)
+	tc := &TraceContext{Org: 7, Cnt: 3, Hop: 2, Parent: 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := WriteFrameCtx(io.Discard, msg, tc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadFrameCtxTraced(b *testing.B) {
+	msg := make([]byte, 96)
+	tc := &TraceContext{Org: 7, Cnt: 3, Hop: 2, Parent: 4}
+	var buf bytes.Buffer
+	if err := WriteFrameCtx(&buf, msg, tc); err != nil {
+		b.Fatal(err)
+	}
+	frame := buf.Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := bytes.NewReader(frame)
+		if _, _, _, err := ReadFrameCtx(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestFrameCtxRoundTrip(t *testing.T) {
+	msgs := [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte{0xAB}, 4096)}
+	ctxs := []*TraceContext{
+		nil,
+		{Org: 0, Cnt: 0, Hop: 0, Parent: 0},
+		{Org: 7, Cnt: 3, Hop: 1, Parent: 7},
+		{Org: -2, Cnt: 255, Hop: 255, Parent: 1<<31 - 1},
+	}
+	for _, tc := range ctxs {
+		for _, msg := range msgs {
+			var buf bytes.Buffer
+			if err := WriteFrameCtx(&buf, msg, tc); err != nil {
+				t.Fatalf("WriteFrameCtx: %v", err)
+			}
+			wantSize := FrameWireSize(len(msg), tc != nil)
+			if buf.Len() != wantSize {
+				t.Errorf("frame size %d, FrameWireSize says %d", buf.Len(), wantSize)
+			}
+			got, gotTC, traced, err := ReadFrameCtx(&buf)
+			if err != nil {
+				t.Fatalf("ReadFrameCtx: %v", err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Errorf("payload mismatch: %x vs %x", got, msg)
+			}
+			if traced != (tc != nil) {
+				t.Errorf("traced = %v for ctx %v", traced, tc)
+			}
+			if tc != nil && gotTC != *tc {
+				t.Errorf("ctx round trip: got %+v, want %+v", gotTC, *tc)
+			}
+		}
+	}
+}
+
+// TestFrameCtxNilMatchesLegacy pins the compatibility contract: a nil trace
+// context produces the v1 byte stream exactly, and a v1-era reader (which
+// treats the header word as a plain length) reads it unchanged.
+func TestFrameCtxNilMatchesLegacy(t *testing.T) {
+	msg := []byte("legacy payload")
+	var a, b bytes.Buffer
+	if err := WriteFrame(&a, msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrameCtx(&b, msg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("nil-ctx frame differs from legacy frame:\n%x\n%x", a.Bytes(), b.Bytes())
+	}
+	n := binary.LittleEndian.Uint32(a.Bytes())
+	if n != uint32(len(msg)) {
+		t.Fatalf("legacy header word = %d, want plain length %d", n, len(msg))
+	}
+}
+
+// TestTracedFrameRejectedByLegacyLengthCheck documents the failure mode for
+// a v1-only reader: the flagged header word exceeds MaxFrame, so the frame
+// is rejected loudly instead of misparsed as a giant payload.
+func TestTracedFrameRejectedByLegacyLengthCheck(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameCtx(&buf, []byte("x"), &TraceContext{Org: 1}); err != nil {
+		t.Fatal(err)
+	}
+	n := binary.LittleEndian.Uint32(buf.Bytes())
+	if n <= MaxFrame {
+		t.Fatalf("traced header word %d would pass a v1 length check", n)
+	}
+}
+
+func TestReadFrameDiscardsCtx(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameCtx(&buf, []byte("msg"), &TraceContext{Org: 9, Cnt: 1, Hop: 2, Parent: 4}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame on traced frame: %v", err)
+	}
+	if string(got) != "msg" {
+		t.Errorf("payload = %q", got)
+	}
+}
+
+// TestRawFramePassthrough pins the middlebox contract: read-raw + write-raw
+// reproduces both frame versions byte-for-byte.
+func TestRawFramePassthrough(t *testing.T) {
+	var in bytes.Buffer
+	if err := WriteFrame(&in, []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrameCtx(&in, []byte("traced"), &TraceContext{Org: 3, Cnt: 2, Hop: 1, Parent: 0}); err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]byte(nil), in.Bytes()...)
+	var out bytes.Buffer
+	for i := 0; i < 2; i++ {
+		hdr, body, err := ReadRawFrame(&in)
+		if err != nil {
+			t.Fatalf("ReadRawFrame %d: %v", i, err)
+		}
+		if err := WriteRawFrame(&out, hdr, body); err != nil {
+			t.Fatalf("WriteRawFrame %d: %v", i, err)
+		}
+	}
+	if !bytes.Equal(out.Bytes(), orig) {
+		t.Fatalf("raw passthrough not byte-identical:\n%x\n%x", out.Bytes(), orig)
+	}
+	// The forwarded traced frame still decodes with its context intact.
+	var replay bytes.Buffer
+	replay.Write(out.Bytes())
+	if _, err := ReadFrame(&replay); err != nil {
+		t.Fatal(err)
+	}
+	msg, tc, traced, err := ReadFrameCtx(&replay)
+	if err != nil || !traced {
+		t.Fatalf("forwarded traced frame lost its context (traced=%v err=%v)", traced, err)
+	}
+	if string(msg) != "traced" || tc.Org != 3 || tc.Hop != 1 {
+		t.Errorf("forwarded frame decoded to %q %+v", msg, tc)
+	}
+}
+
+func TestTracedFrameTruncations(t *testing.T) {
+	var full bytes.Buffer
+	if err := WriteFrameCtx(&full, []byte("payload"), &TraceContext{Org: 5, Parent: 2, Hop: 3, Cnt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		_, _, _, err := ReadFrameCtx(bytes.NewReader(raw[:cut]))
+		if err == nil {
+			t.Errorf("truncation at %d of %d accepted", cut, len(raw))
+		}
+	}
+	// A flagged frame too short to hold a context is rejected.
+	var bad bytes.Buffer
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(TraceContextSize-1)|traceFlag)
+	bad.Write(hdr[:])
+	bad.Write(make([]byte, TraceContextSize-1))
+	if _, _, _, err := ReadFrameCtx(&bad); err == nil {
+		t.Error("undersized traced frame accepted")
+	}
+}
+
+// FuzzFrameCtxRoundTrip drives the framing from structured inputs: every
+// frame we can write must read back identically, traced or not.
+func FuzzFrameCtxRoundTrip(f *testing.F) {
+	f.Add([]byte("msg"), true, int32(1), uint8(2), uint8(3), int32(4))
+	f.Add([]byte{}, false, int32(0), uint8(0), uint8(0), int32(0))
+	f.Add(bytes.Repeat([]byte{7}, 100), true, int32(-1), uint8(255), uint8(255), int32(-9))
+	f.Fuzz(func(t *testing.T, msg []byte, traced bool, org int32, cnt, hop uint8, parent int32) {
+		var tc *TraceContext
+		if traced {
+			tc = &TraceContext{Org: org, Cnt: cnt, Hop: hop, Parent: parent}
+		}
+		var buf bytes.Buffer
+		if err := WriteFrameCtx(&buf, msg, tc); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		got, gotTC, gotTraced, err := ReadFrameCtx(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !bytes.Equal(got, msg) || gotTraced != traced {
+			t.Fatalf("round trip changed frame: %x/%v vs %x/%v", got, gotTraced, msg, traced)
+		}
+		if traced && gotTC != *tc {
+			t.Fatalf("context changed: %+v vs %+v", gotTC, *tc)
+		}
+		// Raw passthrough must preserve the stream byte-for-byte.
+		hdr, body, err := ReadRawFrame(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("raw read: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteRawFrame(&out, hdr, body); err != nil {
+			t.Fatalf("raw write: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), buf.Bytes()) {
+			t.Fatal("raw passthrough not identical")
+		}
+	})
+}
