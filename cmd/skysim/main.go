@@ -6,6 +6,11 @@
 //
 //	skysim -grid 5 -n 50000 -dim 2 -dist IN -d 250 -strategy BF -time 7200
 //
+// -strategy SF selects the sampling-filter strategy (tune with -filterk,
+// -samplek, -samplettl, -samplewait):
+//
+//	skysim -grid 10 -n 10000 -strategy SF -filterk 2
+//
 // With -nodes it instead runs the large-scale preset (constant-density
 // geometry, compact mobility, flood-installed routes, per-link queues) and
 // reports simulator throughput and memory:
@@ -42,10 +47,14 @@ func run() error {
 		dim      = flag.Int("dim", 2, "non-spatial attributes (2-5)")
 		dist     = flag.String("dist", "IN", "attribute distribution: IN|AC|CO")
 		d        = flag.Float64("d", 250, "query distance of interest")
-		strategy = flag.String("strategy", "BF", "forwarding: BF|DF")
+		strategy = flag.String("strategy", "BF", "forwarding: BF|DF|SF")
 		mode     = flag.String("mode", "UNE", "VDR estimation: EXT|OVE|UNE")
 		dynamic  = flag.Bool("dynamic", true, "dynamic filter updates")
 		filters  = flag.Int("filters", 1, "filtering tuples per query (§7 multi-filter extension)")
+		filterK  = flag.Int("filterk", 0, "SF broadcast filter-set size (0 = default)")
+		sampleK  = flag.Int("samplek", 0, "SF per-device sample budget (0 = default)")
+		sampleW  = flag.Float64("samplewait", 0, "SF sample-collection window in simulated seconds (0 = default)")
+		sampleT  = flag.Int("samplettl", 0, "SF sampling-round flood TTL in hops (0 = default)")
 		simTime  = flag.Float64("time", 7200, "simulated seconds")
 		minQ     = flag.Int("minq", 1, "min queries per device")
 		maxQ     = flag.Int("maxq", 5, "max queries per device")
@@ -85,6 +94,8 @@ func run() error {
 			cfg.Strategy = manet.BreadthFirst
 		case "DF":
 			cfg.Strategy = manet.DepthFirst
+		case "SF":
+			cfg.Strategy = manet.SamplingFilter
 		default:
 			return fmt.Errorf("unknown strategy %q", *strategy)
 		}
@@ -100,6 +111,10 @@ func run() error {
 	p.QueryDist = *d
 	p.Dynamic = *dynamic
 	p.NumFilters = *filters
+	p.FilterK = *filterK
+	p.SampleK = *sampleK
+	p.SampleWait = *sampleW
+	p.SampleTTL = *sampleT
 	p.SimTime = *simTime
 	p.MinQueries, p.MaxQueries = *minQ, *maxQ
 	p.Static = *static
@@ -151,6 +166,8 @@ func run() error {
 		p.Strategy = manet.BreadthFirst
 	case "DF":
 		p.Strategy = manet.DepthFirst
+	case "SF":
+		p.Strategy = manet.SamplingFilter
 	default:
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}

@@ -71,7 +71,7 @@ func TestTableCSV(t *testing.T) {
 
 func TestRegistryLookups(t *testing.T) {
 	names := []string{"fig5a", "fig5b", "fig5", "fig6", "fig7", "fig8",
-		"fig9", "fig10", "fig11", "fig12", "sim", "baselines", "storage", "multifilter", "redistribution", "spatialindex", "all"}
+		"fig9", "fig10", "fig11", "fig12", "sim", "baselines", "storage", "multifilter", "redistribution", "spatialindex", "strategies", "all"}
 	for _, n := range names {
 		if _, err := Lookup(n); err != nil {
 			t.Errorf("Lookup(%q): %v", n, err)
@@ -183,6 +183,42 @@ func TestSimFiguresSmall(t *testing.T) {
 		lastBF := parseCell(t, msgs.Rows[len(msgs.Rows)-1][len(msgs.Columns)-1])
 		if lastBF <= firstBF {
 			t.Errorf("BF message count should grow with devices: %v → %v", firstBF, lastBF)
+		}
+	}
+}
+
+func TestStrategiesSmallShapes(t *testing.T) {
+	tabs := Strategies(Small)
+	if len(tabs) != 2 {
+		t.Fatalf("Strategies returned %d tables, want 2", len(tabs))
+	}
+	cost, loss := tabs[0], tabs[1]
+	wantRows := []string{"BF", "DF", "SF"}
+	for _, tab := range tabs {
+		if len(tab.Rows) != len(wantRows) {
+			t.Fatalf("%s has %d rows, want %d", tab.ID, len(tab.Rows), len(wantRows))
+		}
+		for i, row := range tab.Rows {
+			if row[0] != wantRows[i] {
+				t.Errorf("%s row %d is %q, want %q", tab.ID, i, row[0], wantRows[i])
+			}
+		}
+	}
+	for _, row := range cost.Rows {
+		if b := parseCell(t, row[1]); b <= 0 {
+			t.Errorf("%s: non-positive query bytes %v", row[0], b)
+		}
+		if c := parseCell(t, row[5]); c < 0 || c > 1 {
+			t.Errorf("%s: completion %v out of range", row[0], c)
+		}
+	}
+	for _, row := range loss.Rows {
+		if row[1] == "n/a" {
+			t.Errorf("%s: lossy run computed no recall", row[0])
+			continue
+		}
+		if r := parseCell(t, row[1]); r < 0 || r > 1 {
+			t.Errorf("%s: recall %v out of range", row[0], r)
 		}
 	}
 }

@@ -36,6 +36,7 @@ func Experiments() []Experiment {
 		{"multifilter", "extension: DRR vs. number of filtering tuples (§7)", AblationMultiFilter},
 		{"redistribution", "extension: relation hand-off under mobility (§7)", AblationRedistribution},
 		{"spatialindex", "extension: spatial bucket grid vs. the Figure 4 sequential scan", AblationSpatialIndex},
+		{"strategies", "three strategies head-to-head: BF vs DF vs SF cost and loss robustness", Strategies},
 		{"all", "every figure and ablation", runAll},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].Name < exps[j].Name })
@@ -66,5 +67,6 @@ func runAll(sc Scale) []*Table {
 	out = append(out, AblationMultiFilter(sc)...)
 	out = append(out, AblationRedistribution(sc)...)
 	out = append(out, AblationSpatialIndex(sc)...)
+	out = append(out, Strategies(sc)...)
 	return out
 }

@@ -203,6 +203,49 @@ func TestSoakCrashPartition(t *testing.T) {
 	}
 }
 
+// The same crash+partition plan with every query running the SF strategy:
+// the sampling round, filter flood, and survivor collection must ride the
+// same self-healing transport to the same recall floor. SFSampleWait is kept
+// small so the filter flood still fits inside the query timeout after the
+// partition heals.
+func TestSoakSF(t *testing.T) {
+	defer leaktest.Check(t)()
+	plan, err := faults.Named("crash+partition", 9, 3.0)
+	if err != nil {
+		t.Fatalf("Named: %v", err)
+	}
+	cfg := soakPeerConfig(nil)
+	cfg.SFSampleWait = 100 * time.Millisecond
+	res, err := Soak(SoakConfig{
+		Grid: 3, Tuples: 1800, Seed: 3,
+		Plan: plan, Horizon: 3.0, Wall: 3 * time.Second,
+		QueryEvery: 150 * time.Millisecond,
+		Peer:       cfg,
+		SF:         true,
+	})
+	if err != nil {
+		t.Fatalf("Soak: %v", err)
+	}
+	if len(res.Queries) < 10 {
+		t.Fatalf("only %d queries issued", len(res.Queries))
+	}
+	for _, q := range res.Queries {
+		if q.Err != nil {
+			t.Errorf("SF query from %d at %v failed: %v", q.Org, q.Issued, q.Err)
+		}
+	}
+	mean := res.MeanRecall()
+	completed := res.Completed()
+	t.Logf("SF crash+partition soak: %d queries, %d complete, mean recall %.3f",
+		len(res.Queries), completed, mean)
+	if mean < 0.9 {
+		t.Errorf("SF mean recall %.3f under crash+partition, want >= 0.9", mean)
+	}
+	if completed < len(res.Queries)/2 {
+		t.Errorf("only %d/%d SF queries completed", completed, len(res.Queries))
+	}
+}
+
 // The chaos plan (10%% duplication, 10%% reordering up to 2s) against live
 // sockets: duplicated result frames must not double-count the quorum (the
 // shared registry's dedupe counter proves they arrived) and recall stays at

@@ -36,6 +36,10 @@ type SoakConfig struct {
 	QueryEvery time.Duration
 	// D is the constrained-skyline distance (0 means unconstrained).
 	D float64
+	// SF issues queries under the sampling-filter strategy (tcp.Peer.QuerySF)
+	// instead of the breadth-first flood; the oracle and scoring are
+	// identical.
+	SF bool
 	// Peer configures every peer; LeaseTTL should be set so real crashes
 	// decay out of the directory.
 	Peer tcp.Config
@@ -285,7 +289,13 @@ func Soak(cfg SoakConfig) (*SoakResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			qr, err := p.Query(d, aliveCount)
+			var qr tcp.QueryResult
+			var err error
+			if cfg.SF {
+				qr, err = p.QuerySF(d, aliveCount)
+			} else {
+				qr, err = p.Query(d, aliveCount)
+			}
 			truth := skyline.Constrained(union, p.Pos(), d)
 			out := QueryOutcome{
 				Org: org, Issued: issued, Err: err,

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 
+	"manetskyline/internal/skyline"
 	"manetskyline/internal/tuple"
 )
 
@@ -11,12 +13,12 @@ import (
 // Important questions include how many, and which, tuples should be used as
 // filters, to achieve the best data reduction rate."
 //
-// A single max-VDR tuple covers one corner of the data space; tuples far
-// from it survive pruning even when other local-skyline tuples would have
-// removed them. SelectFilters therefore picks k tuples greedily by marginal
-// coverage: the union volume of the chosen dominating regions, estimated by
-// Monte Carlo sampling over the bounding box, which handles the
-// overlapping-hyper-rectangle union that has no cheap closed form.
+// The greedy volume-of-dominated-region selection itself lives in
+// internal/skyline (SelectFilterSet), where both this multi-filter extension
+// and the sampling-based SF strategy draw from it. The SF-specific
+// primitives — seeded deterministic tuple sampling and survivor computation
+// against a received filter set — live here, on the local-skyline path every
+// runtime (simulator and live TCP peers) shares.
 
 // SelectFilters picks up to k filtering tuples from a local skyline,
 // maximizing the (sampled) union volume of their dominating regions under
@@ -24,98 +26,7 @@ import (
 // degenerates to SelectFilter. samples controls the Monte Carlo precision
 // (0 ⇒ 2048); seed makes the estimate deterministic.
 func SelectFilters(sky []tuple.Tuple, hi []float64, k, samples int, seed int64) []tuple.Tuple {
-	if k <= 0 || len(sky) == 0 {
-		return nil
-	}
-	if k > len(sky) {
-		k = len(sky)
-	}
-	if samples <= 0 {
-		samples = 2048
-	}
-	dim := len(hi)
-
-	// Sample points uniformly in [min attr seen, hi]^dim — the region where
-	// candidate dominating regions live.
-	lo := make([]float64, dim)
-	copy(lo, sky[0].Attrs)
-	for _, t := range sky {
-		for j, v := range t.Attrs {
-			if v < lo[j] {
-				lo[j] = v
-			}
-		}
-	}
-	r := rand.New(rand.NewSource(seed))
-	pts := make([][]float64, samples)
-	for i := range pts {
-		p := make([]float64, dim)
-		for j := range p {
-			p[j] = lo[j] + r.Float64()*(hi[j]-lo[j])
-		}
-		pts[i] = p
-	}
-
-	covered := make([]bool, samples)
-	chosen := make([]tuple.Tuple, 0, k)
-	used := make([]bool, len(sky))
-
-	// First pick: exact max-VDR for parity with the single-filter scheme.
-	first, _ := SelectFilter(sky, func(t tuple.Tuple) float64 { return VDR(t, hi) })
-	for i := range sky {
-		if sky[i].Equal(*first) {
-			used[i] = true
-			break
-		}
-	}
-	chosen = append(chosen, *first)
-	markCovered(covered, pts, *first)
-
-	for len(chosen) < k {
-		bestGain := 0
-		bestIdx := -1
-		for i := range sky {
-			if used[i] {
-				continue
-			}
-			gain := 0
-			for s, p := range pts {
-				if !covered[s] && inDominatingRegion(sky[i], p) {
-					gain++
-				}
-			}
-			if gain > bestGain {
-				bestGain = gain
-				bestIdx = i
-			}
-		}
-		if bestIdx < 0 {
-			break // no remaining tuple adds coverage
-		}
-		used[bestIdx] = true
-		chosen = append(chosen, sky[bestIdx].Clone())
-		markCovered(covered, pts, sky[bestIdx])
-	}
-	return chosen
-}
-
-func markCovered(covered []bool, pts [][]float64, t tuple.Tuple) {
-	for s, p := range pts {
-		if !covered[s] && inDominatingRegion(t, p) {
-			covered[s] = true
-		}
-	}
-}
-
-// inDominatingRegion reports whether point p lies strictly inside t's
-// dominating region (t better on every coordinate).
-func inDominatingRegion(t tuple.Tuple, p []float64) bool {
-	for j, v := range t.Attrs {
-		if v >= p[j] {
-			return false
-		}
-	}
-	return true
+	return skyline.SelectFilterSet(sky, hi, k, samples, seed)
 }
 
 // ApplyFilters prunes a reduced local skyline with a set of filtering
@@ -128,6 +39,103 @@ func ApplyFilters(sky []tuple.Tuple, filters []tuple.Tuple) []tuple.Tuple {
 		return sky
 	}
 	out := sky[:0]
+next:
+	for _, t := range sky {
+		for _, f := range filters {
+			if f.Dominates(t) {
+				continue next
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// SampleSeed derives the deterministic per-device sampling seed of the SF
+// strategy: every runtime (simulator, live peers) must draw the same sample
+// for the same (query, device) pair so traces and results are reproducible.
+func SampleSeed(key QueryKey, id DeviceID) int64 {
+	return int64(key.Org)<<24 ^ int64(key.Cnt)<<16 ^ int64(id) ^ 0x5f3a
+}
+
+// SampleTuples draws a seeded deterministic sample of up to k tuples from a
+// local skyline — the tuples a device volunteers during the SF strategy's
+// sampling round. The sample preserves skyline order (it is a subsequence),
+// so byte-identical traces follow from the seed alone. k >= len(sky)
+// returns sky itself.
+func SampleTuples(sky []tuple.Tuple, k int, seed int64) []tuple.Tuple {
+	if k <= 0 {
+		return nil
+	}
+	if k >= len(sky) {
+		return sky
+	}
+	r := rand.New(rand.NewSource(seed))
+	idx := r.Perm(len(sky))[:k]
+	pick := make([]bool, len(sky))
+	for _, i := range idx {
+		pick[i] = true
+	}
+	out := make([]tuple.Tuple, 0, k)
+	for i, t := range sky {
+		if pick[i] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// QuantizeFilters maps each filter's attributes onto a 16-bit fixed-point
+// grid over the schema's global bounds, rounding UP (toward worse, in the
+// smaller-is-better convention). The SF filter flood ships only the 2-byte
+// codes — a fraction of a float64 per attribute — and because the decoded
+// vector is coordinate-wise no better than the original tuple, anything the
+// quantized filter dominates is also dominated by the real tuple: pruning
+// stays conservative and the exactness argument survives quantization
+// unchanged. Positions are preserved in the returned tuples but never ship
+// (filters prune by dominance alone). A value outside the schema bounds is
+// kept verbatim rather than clamped, so conservativeness never breaks.
+func QuantizeFilters(filters []tuple.Tuple, schema tuple.Schema) []tuple.Tuple {
+	const levels = 1 << 16
+	out := make([]tuple.Tuple, 0, len(filters))
+	for _, f := range filters {
+		q := f.Clone()
+		for i, v := range q.Attrs {
+			if i >= len(schema.Min) || i >= len(schema.Max) {
+				continue
+			}
+			lo, hi := schema.Min[i], schema.Max[i]
+			span := hi - lo
+			if span <= 0 || v < lo || v > hi {
+				continue
+			}
+			code := math.Ceil((v - lo) / span * (levels - 1))
+			vq := lo + code/(levels-1)*span
+			for vq < v && code < levels-1 { // float round-off guard
+				code++
+				vq = lo + code/(levels-1)*span
+			}
+			if vq >= v {
+				q.Attrs[i] = vq
+			}
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// Survivors computes the tuples a device returns in the SF strategy's
+// collect phase: its full constrained local skyline pruned by the broadcast
+// filter set. Every filter is a real in-range tuple the originator
+// collected, so anything a filter dominates cannot be in the final skyline —
+// the same safety argument as the single-filter scheme. Tuples the device
+// already volunteered in the sampling round are deliberately re-included
+// when they survive: the sample message may have been lost, and the
+// originator's Merge deduplicates by site, so re-sending costs a few tuples
+// while subtracting would silently lose them under loss. Unlike
+// ApplyFilters, the input is left intact.
+func Survivors(sky, filters []tuple.Tuple) []tuple.Tuple {
+	out := make([]tuple.Tuple, 0, len(sky))
 next:
 	for _, t := range sky {
 		for _, f := range filters {

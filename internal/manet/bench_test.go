@@ -27,7 +27,7 @@ var benchOutcomeSink *Outcome
 // routing and BF query floods, and metric collection. This is the unit of
 // work the Figure 8-12 sweeps fan out per data point.
 func BenchmarkScenarioSmall(b *testing.B) {
-	for _, strategy := range []Forwarding{BreadthFirst, DepthFirst} {
+	for _, strategy := range allStrategies {
 		b.Run(strategy.String(), func(b *testing.B) {
 			p := benchScenarioParams(strategy)
 			b.ReportAllocs()
@@ -44,7 +44,7 @@ func BenchmarkScenarioSmall(b *testing.B) {
 // collection), quantifying the enabled-path overhead that EXPERIMENTS.md
 // reports against the disabled baseline above.
 func BenchmarkScenarioSmallTelemetry(b *testing.B) {
-	for _, strategy := range []Forwarding{BreadthFirst, DepthFirst} {
+	for _, strategy := range allStrategies {
 		b.Run(strategy.String(), func(b *testing.B) {
 			p := benchScenarioParams(strategy)
 			b.ReportAllocs()

@@ -6,53 +6,57 @@ import (
 
 // Lossy-radio scenarios: the protocol must stay live (no panics, queries
 // still progress via timeouts) and whatever it returns must be internally
-// consistent even when frames vanish.
+// consistent even when frames vanish. Table-driven over every forwarding
+// strategy so a new strategy is covered by adding it to allStrategies.
 func TestLossyRadioBothStrategies(t *testing.T) {
-	for _, strategy := range []Forwarding{BreadthFirst, DepthFirst} {
-		for _, loss := range []float64{0.05, 0.2} {
-			p := DefaultParams()
-			p.Grid = 4
-			p.GlobalN = 6000
-			p.Strategy = strategy
-			p.SimTime = 3600
-			p.MinQueries, p.MaxQueries = 1, 1
-			p.Radio.Loss = loss
-			p.KeepSkylines = true
-			p.Recall = true
-			// Every (strategy, loss) pair gets its own seed: deriving the seed
-			// from loss alone made BF and DF replay the same stream.
-			p.Seed = int64(1000*loss) + int64(strategy)*7919 + 1
-			out := Run(p)
-			if len(out.Queries) == 0 {
-				t.Fatalf("%v loss=%v: no queries issued", strategy, loss)
-			}
-			if out.Radio.DroppedLoss == 0 {
-				t.Errorf("%v loss=%v: loss process never fired", strategy, loss)
-			}
-			for _, q := range out.Queries {
-				for i, a := range q.Skyline {
-					for j, b := range q.Skyline {
-						if i != j && a.Dominates(b) {
-							t.Fatalf("%v loss=%v: result contains dominated tuple", strategy, loss)
+	for _, strategy := range allStrategies {
+		strategy := strategy
+		t.Run(strategy.String(), func(t *testing.T) {
+			for _, loss := range []float64{0.05, 0.2} {
+				p := DefaultParams()
+				p.Grid = 4
+				p.GlobalN = 6000
+				p.Strategy = strategy
+				p.SimTime = 3600
+				p.MinQueries, p.MaxQueries = 1, 1
+				p.Radio.Loss = loss
+				p.KeepSkylines = true
+				p.Recall = true
+				// Every (strategy, loss) pair gets its own seed: deriving the seed
+				// from loss alone made BF and DF replay the same stream.
+				p.Seed = int64(1000*loss) + int64(strategy)*7919 + 1
+				out := Run(p)
+				if len(out.Queries) == 0 {
+					t.Fatalf("loss=%v: no queries issued", loss)
+				}
+				if out.Radio.DroppedLoss == 0 {
+					t.Errorf("loss=%v: loss process never fired", loss)
+				}
+				for _, q := range out.Queries {
+					for i, a := range q.Skyline {
+						for j, b := range q.Skyline {
+							if i != j && a.Dominates(b) {
+								t.Fatalf("loss=%v: result contains dominated tuple", loss)
+							}
+						}
+						if !q.Pos.WithinDist(a.Pos(), q.D) {
+							t.Fatalf("loss=%v: result leaked out-of-range tuple", loss)
 						}
 					}
-					if !q.Pos.WithinDist(a.Pos(), q.D) {
-						t.Fatalf("%v loss=%v: result leaked out-of-range tuple", strategy, loss)
-					}
 				}
+				// Even at 20% loss a mobile network recovers some answers: recall
+				// must be positive, and the oracle must actually have run.
+				r, ok := out.MeanRecall()
+				if !ok {
+					t.Fatalf("loss=%v: recall not computed", loss)
+				}
+				if r <= 0 {
+					t.Errorf("loss=%v: mean recall %v, want > 0", loss, r)
+				}
+				t.Logf("loss=%.0f%%: completion %.0f%%, recall %.3f, %d frames lost",
+					loss*100, out.CompletionRate()*100, r, out.Radio.DroppedLoss)
 			}
-			// Even at 20% loss a mobile network recovers some answers: recall
-			// must be positive, and the oracle must actually have run.
-			r, ok := out.MeanRecall()
-			if !ok {
-				t.Fatalf("%v loss=%v: recall not computed", strategy, loss)
-			}
-			if r <= 0 {
-				t.Errorf("%v loss=%v: mean recall %v, want > 0", strategy, loss, r)
-			}
-			t.Logf("%v loss=%.0f%%: completion %.0f%%, recall %.3f, %d frames lost",
-				strategy, loss*100, out.CompletionRate()*100, r, out.Radio.DroppedLoss)
-		}
+		})
 	}
 }
 
@@ -124,23 +128,26 @@ func TestDFTimeoutsTerminate(t *testing.T) {
 }
 
 // A fading radio (gray-zone losses at the cell edge) must degrade — not
-// break — both strategies.
+// break — any strategy.
 func TestFadingRadio(t *testing.T) {
-	for _, strategy := range []Forwarding{BreadthFirst, DepthFirst} {
-		p := DefaultParams()
-		p.Grid = 4
-		p.GlobalN = 6000
-		p.Strategy = strategy
-		p.SimTime = 3600
-		p.MinQueries, p.MaxQueries = 1, 1
-		p.Radio.FadeMargin = 0.3
-		p.Seed = 31
-		out := Run(p)
-		if len(out.Queries) == 0 {
-			t.Fatalf("%v: no queries issued", strategy)
-		}
-		t.Logf("%v fading: completion %.0f%%, %d gray-zone drops",
-			strategy, out.CompletionRate()*100, out.Radio.DroppedRange)
+	for _, strategy := range allStrategies {
+		strategy := strategy
+		t.Run(strategy.String(), func(t *testing.T) {
+			p := DefaultParams()
+			p.Grid = 4
+			p.GlobalN = 6000
+			p.Strategy = strategy
+			p.SimTime = 3600
+			p.MinQueries, p.MaxQueries = 1, 1
+			p.Radio.FadeMargin = 0.3
+			p.Seed = 31
+			out := Run(p)
+			if len(out.Queries) == 0 {
+				t.Fatalf("no queries issued")
+			}
+			t.Logf("fading: completion %.0f%%, %d gray-zone drops",
+				out.CompletionRate()*100, out.Radio.DroppedRange)
+		})
 	}
 }
 

@@ -48,7 +48,7 @@ func TestValidate(t *testing.T) {
 }
 
 func TestForwardingString(t *testing.T) {
-	if BreadthFirst.String() != "BF" || DepthFirst.String() != "DF" {
+	if BreadthFirst.String() != "BF" || DepthFirst.String() != "DF" || SamplingFilter.String() != "SF" {
 		t.Errorf("unexpected names")
 	}
 	if Forwarding(9).String() == "" {

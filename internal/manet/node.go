@@ -24,8 +24,10 @@ type node struct {
 	// nbBuf is the reused neighbor buffer for DF forwarding decisions.
 	nbBuf []radio.NodeID
 
-	bf map[core.QueryKey]*bfOrigState
-	df map[core.QueryKey]*dfState
+	bf    map[core.QueryKey]*bfOrigState
+	df    map[core.QueryKey]*dfState
+	sf    map[core.QueryKey]*sfOrigState
+	sfDev map[core.QueryKey]*sfDevState
 }
 
 // bfOrigState is the originator's collection state for one BF query.
@@ -99,6 +101,8 @@ func (n *node) maybeIssue() {
 			n.bfStart(q, res)
 		case DepthFirst:
 			n.dfStart(q, res)
+		case SamplingFilter:
+			n.sfStart(q, res)
 		}
 	})
 }
@@ -143,6 +147,8 @@ func (n *node) deadlineExpire(key core.QueryKey) {
 		merged = st.merged
 		st.done = true
 		st.gen++ // invalidate ack/subtree timers of the abandoned traversal
+	} else if st := n.sf[key]; st != nil {
+		merged = st.merged
 	}
 	n.finishQuery(key, merged)
 }
@@ -495,12 +501,21 @@ func (n *node) onData(src radio.NodeID, hops int, payload radio.Payload) {
 		n.dfHandleAck(src, m)
 	case *dfResultMsg:
 		n.dfHandleResult(src, hops, m)
+	case *sfSampleMsg:
+		n.sfHandleSample(m, hops)
+	case *sfResultMsg:
+		n.sfHandleResult(m, hops)
 	}
 }
 
-// onLocal receives one-hop broadcasts (the BF flood).
+// onLocal receives one-hop broadcasts (the BF flood and both SF floods).
 func (n *node) onLocal(from radio.NodeID, payload radio.Payload) {
-	if m, ok := payload.(*queryMsg); ok {
+	switch m := payload.(type) {
+	case *queryMsg:
 		n.bfHandleQuery(m)
+	case *sfQueryMsg:
+		n.sfHandleQuery(m)
+	case *sfFilterMsg:
+		n.sfHandleFilter(m)
 	}
 }

@@ -33,15 +33,29 @@ const (
 	// DepthFirst serializes the query: each device forwards to one
 	// neighbour at a time; results merge along the reverse path.
 	DepthFirst
+	// SamplingFilter is the sampling-based multi-round strategy beyond the
+	// paper (Zhang & Zhang, arXiv:1611.00423): the originator floods a
+	// sample request, every device returns a small seeded sample of its
+	// constrained local skyline, the originator selects a k-tuple filter
+	// set by greedy dominating-region coverage and floods it, and devices
+	// return only the tuples that survive the filter set (minus what they
+	// already sampled). Fault-free, the merged result is the exact
+	// constrained skyline; the collect phase ships far fewer tuples than a
+	// BF flood.
+	SamplingFilter
 )
 
-// String names the strategy the way the paper's figures do.
+// String names the strategy the way the paper's figures do ("SF" follows
+// the sampling-filter literature; the paper's figures use SF for "static
+// filter", which this codebase calls dynamic=false).
 func (f Forwarding) String() string {
 	switch f {
 	case BreadthFirst:
 		return "BF"
 	case DepthFirst:
 		return "DF"
+	case SamplingFilter:
+		return "SF"
 	default:
 		return fmt.Sprintf("Forwarding(%d)", int(f))
 	}
@@ -77,8 +91,29 @@ type Params struct {
 	// NumFilters attaches k filtering tuples per query (§7 multi-filter
 	// extension); 0 and 1 mean the paper's single filter.
 	NumFilters int
-	// Strategy selects BF or DF forwarding.
+	// Strategy selects BF, DF, or SF forwarding.
 	Strategy Forwarding
+
+	// FilterK is the SF filter-set size: how many high-pruning-power tuples
+	// the originator selects from the collected sample and broadcasts in
+	// the collect phase (0 ⇒ 2). Only the SamplingFilter strategy reads
+	// it. The default is deliberately small: every extra filter rides the
+	// full flood, costing 8·dim bytes per reception, while its marginal
+	// pruning gain fades fast — on dense networks large k loses more on
+	// the flood than it saves on survivors.
+	FilterK int
+	// SampleK is how many local-skyline tuples each device volunteers
+	// during the SF sampling round (0 ⇒ 2).
+	SampleK int
+	// SampleTTL is the hop budget of the SF sampling broadcast (0 ⇒ 1):
+	// how far the sample request travels before the filter flood takes
+	// over query dissemination. One hop samples the originator's
+	// neighbourhood, which is enough to pick filters from while keeping
+	// the sampling round off the flood budget.
+	SampleTTL int
+	// SampleWait is how long (simulated seconds) the SF originator collects
+	// samples before selecting the filter set and flooding it (0 ⇒ 30).
+	SampleWait float64
 
 	// SimTime is the simulated duration in seconds (2 h in the paper).
 	SimTime float64
@@ -250,6 +285,12 @@ func (p Params) Validate() error {
 	if p.AckTimeout <= 0 || p.SubtreeTimeout <= 0 {
 		return fmt.Errorf("manet: non-positive DF timeouts")
 	}
+	if p.Strategy != BreadthFirst && p.Strategy != DepthFirst && p.Strategy != SamplingFilter {
+		return fmt.Errorf("manet: unknown forwarding strategy %d", int(p.Strategy))
+	}
+	if p.FilterK < 0 || p.SampleK < 0 || p.SampleTTL < 0 || p.SampleWait < 0 {
+		return fmt.Errorf("manet: negative SF tuning field")
+	}
 	if p.QueryRetries < 0 {
 		return fmt.Errorf("manet: negative query retries %d", p.QueryRetries)
 	}
@@ -284,6 +325,36 @@ func (p Params) Validate() error {
 
 // NumDevices returns m = Grid².
 func (p Params) NumDevices() int { return p.Grid * p.Grid }
+
+// filterK, sampleK, sampleTTL, and sampleWait return the SF knobs with
+// their defaults applied.
+func (p Params) filterK() int {
+	if p.FilterK > 0 {
+		return p.FilterK
+	}
+	return 2
+}
+
+func (p Params) sampleTTL() int {
+	if p.SampleTTL > 0 {
+		return p.SampleTTL
+	}
+	return 1
+}
+
+func (p Params) sampleK() int {
+	if p.SampleK > 0 {
+		return p.SampleK
+	}
+	return 2
+}
+
+func (p Params) sampleWait() float64 {
+	if p.SampleWait > 0 {
+		return p.SampleWait
+	}
+	return 30
+}
 
 // retryDelay is the capped exponential backoff before re-issue number
 // attempt+1 (attempt is 0-based).

@@ -10,6 +10,12 @@ import (
 	"manetskyline/internal/skyline"
 )
 
+// allStrategies is the shared strategy table every cross-strategy sweep in
+// this package iterates: the paper's BF and DF plus the sampling-filter
+// extension. Adding a strategy here opts it into the equivalence sweep, the
+// recall-oracle property, and the lossy/fading fault sweeps.
+var allStrategies = []Forwarding{BreadthFirst, DepthFirst, SamplingFilter}
+
 // sweepCombo is one protocol configuration of the equivalence sweep.
 type sweepCombo struct {
 	mode     core.Estimation
@@ -18,12 +24,17 @@ type sweepCombo struct {
 }
 
 // sweepCombos enumerates every estimation mode × forwarding strategy ×
-// filter strategy (static vs dynamic filter) combination.
+// filter strategy (static vs dynamic filter) combination. SF strips the
+// travelling filter entirely, so the dynamic-filter axis is meaningless for
+// it and only the static variant is enumerated.
 func sweepCombos() []sweepCombo {
 	var out []sweepCombo
 	for _, mode := range []core.Estimation{core.Exact, core.Over, core.Under} {
-		for _, strategy := range []Forwarding{BreadthFirst, DepthFirst} {
+		for _, strategy := range allStrategies {
 			for _, dynamic := range []bool{false, true} {
+				if dynamic && strategy == SamplingFilter {
+					continue
+				}
 				out = append(out, sweepCombo{mode, strategy, dynamic})
 			}
 		}
@@ -88,31 +99,37 @@ func TestQuickDistributedEqualsCentralizedSweep(t *testing.T) {
 
 // TestQuickRecallOracleSelfConsistent checks the recall accounting layer on
 // loss-free runs: when nothing can be lost, the oracle must agree with the
-// protocol — recall and precision are exactly 1 for completed queries.
+// protocol — recall and precision are exactly 1 for completed queries —
+// under every forwarding strategy.
 func TestQuickRecallOracleSelfConsistent(t *testing.T) {
-	f := func(seed uint16) bool {
-		p := smallParams(BreadthFirst)
-		p.BFQuorum = 1.0
-		p.Recall = true
-		p.Seed = int64(seed) + 1
-		out := Run(p)
-		if !out.RecallComputed {
-			return false
-		}
-		for _, q := range out.Queries {
-			if !q.Done || q.Partial {
-				continue
+	for _, strategy := range allStrategies {
+		strategy := strategy
+		t.Run(strategy.String(), func(t *testing.T) {
+			f := func(seed uint16) bool {
+				p := smallParams(strategy)
+				p.BFQuorum = 1.0
+				p.Recall = true
+				p.Seed = int64(seed) + 1
+				out := Run(p)
+				if !out.RecallComputed {
+					return false
+				}
+				for _, q := range out.Queries {
+					if !q.Done || q.Partial {
+						continue
+					}
+					if q.Recall != 1 || q.Precision != 1 {
+						t.Logf("seed=%d query %v: recall=%v precision=%v (truth %d, result %d)",
+							seed, q.Key, q.Recall, q.Precision, q.TruthTuples, q.ResultTuples)
+						return false
+					}
+				}
+				return true
 			}
-			if q.Recall != 1 || q.Precision != 1 {
-				t.Logf("seed=%d query %v: recall=%v precision=%v (truth %d, result %d)",
-					seed, q.Key, q.Recall, q.Precision, q.TruthTuples, q.ResultTuples)
-				return false
+			cfg := &quick.Config{MaxCount: 8, Rand: rand.New(rand.NewSource(13))}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Error(err)
 			}
-		}
-		return true
-	}
-	cfg := &quick.Config{MaxCount: 8, Rand: rand.New(rand.NewSource(13))}
-	if err := quick.Check(f, cfg); err != nil {
-		t.Error(err)
+		})
 	}
 }

@@ -20,7 +20,9 @@ type TraceEvent struct {
 	// T is the simulated time in seconds.
 	T float64 `json:"t"`
 	// Event is the event type: "issue", "process", "filter-update",
-	// "result", "retry", "complete", "transfer", "fault".
+	// "result", "retry", "complete", "transfer", "fault", and, under the
+	// SF strategy, "sample" (a device's sample arrived at the originator)
+	// and "filter-set" (the originator flooded its selected filter set).
 	Event string `json:"event"`
 	// Device is the device the event happened on.
 	Device core.DeviceID `json:"device"`

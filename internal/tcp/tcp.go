@@ -37,6 +37,14 @@ type Config struct {
 	QueryTimeout time.Duration
 	// Quorum is the fraction of other peers whose results complete a query.
 	Quorum float64
+	// SFSampleK is QuerySF's per-peer sample budget (0 ⇒ 2).
+	SFSampleK int
+	// SFFilterK is QuerySF's broadcast filter-set size (0 ⇒ 2).
+	SFFilterK int
+	// SFSampleWait is how long QuerySF collects neighbour samples before
+	// selecting and flooding the filter set (0 ⇒ 150ms). It spends part of
+	// the QueryTimeout budget, so keep it well below it.
+	SFSampleWait time.Duration
 	// DialTimeout bounds outgoing connection attempts.
 	DialTimeout time.Duration
 	// WriteTimeout bounds one frame write on an established connection
@@ -112,6 +120,9 @@ func (c Config) Validate() error {
 		c.LeaseTTL < 0 || c.HeartbeatInterval < 0 || c.SendQueueLen < 0 {
 		return fmt.Errorf("tcp: negative transport tuning field")
 	}
+	if c.SFSampleK < 0 || c.SFFilterK < 0 || c.SFSampleWait < 0 {
+		return fmt.Errorf("tcp: negative SF tuning field")
+	}
 	return nil
 }
 
@@ -145,6 +156,15 @@ func (c Config) withDefaults() Config {
 	if c.HeartbeatInterval == 0 && c.LeaseTTL > 0 {
 		c.HeartbeatInterval = c.LeaseTTL / 3
 	}
+	if c.SFSampleK == 0 {
+		c.SFSampleK = 2
+	}
+	if c.SFFilterK == 0 {
+		c.SFFilterK = 2
+	}
+	if c.SFSampleWait == 0 {
+		c.SFSampleWait = 150 * time.Millisecond
+	}
 	return c
 }
 
@@ -166,6 +186,9 @@ type Peer struct {
 	mu        sync.Mutex
 	neighbors []core.DeviceID
 	pending   map[core.QueryKey]*pendingQuery
+	sfOrig    map[core.QueryKey]*sfOrigQuery
+	sfLocal   map[core.QueryKey]*sfLocalState
+	sfSeen    map[core.QueryKey]bool
 	conns     map[core.DeviceID]*peerConn
 	inbound   map[net.Conn]struct{}
 	closed    bool
@@ -208,6 +231,9 @@ func NewPeer(id core.DeviceID, ts []tuple.Tuple, schema tuple.Schema,
 		ctx:     ctx,
 		cancel:  cancel,
 		pending: make(map[core.QueryKey]*pendingQuery),
+		sfOrig:  make(map[core.QueryKey]*sfOrigQuery),
+		sfLocal: make(map[core.QueryKey]*sfLocalState),
+		sfSeen:  make(map[core.QueryKey]bool),
 		conns:   make(map[core.DeviceID]*peerConn),
 		inbound: make(map[net.Conn]struct{}),
 		met:     NewMetrics(cfg.Registry),
@@ -411,6 +437,15 @@ func (p *Peer) serve(conn net.Conn) {
 				return
 			}
 			p.handleResult(r, tc)
+		case wire.KindFilterSet:
+			m, err := wire.DecodeFilterSet(msg)
+			if err != nil {
+				p.met.DecodeFailures.Inc()
+				p.flightEvent("decode_failure", tc, "bad filter-set frame from %s: %v", conn.RemoteAddr(), err)
+				p.logf("tcp: peer %d: closing %s: bad filter-set frame: %v", p.dev.ID, conn.RemoteAddr(), err)
+				return
+			}
+			p.handleFilterSet(m, tc)
 		}
 	}
 }

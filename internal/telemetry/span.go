@@ -24,6 +24,13 @@ const (
 	StageComplete     = "complete"
 )
 
+// SF (sampling-filter) stage kinds: the originator's sample arrivals and
+// its filter-set broadcast, between issue and the survivor results.
+const (
+	StageSample    = "sample"
+	StageFilterSet = "filter-set"
+)
+
 // Transport stage kinds recorded by the live TCP tier: one frame's journey
 // is enqueue → (dial) → write on the sender and decode → handle → (reply)
 // on the receiver. Merging the write/decode pairs across peers (see

@@ -13,6 +13,9 @@
 //	             hasFilter:uint8 [tuple vdr:float64]
 //	             extraCount:uint16 tuple*          (multi-filter extension)
 //	result    := org:int32 cnt:uint8 from:int32 count:uint32 tuple*
+//	filterset := org:int32 cnt:uint8 phase:uint8 from:int32
+//	             x:float64 y:float64 d:float64 samplek:uint16
+//	             count:uint32 tuple*                 (SF; see filterset.go)
 //	tuple     := x:float64 y:float64 dim:uint16 attr:float64*
 //
 // Floats are IEEE-754 bit patterns. The distance d uses math.Inf(1) for
@@ -35,6 +38,12 @@ type Kind uint8
 const (
 	KindQuery Kind = iota + 1
 	KindResult
+	// KindFilterSet carries the SF (sampling-filter) subprotocol — sample
+	// requests and replies, the filter-set broadcast, and survivor returns —
+	// distinguished by a phase byte (see filterset.go). Peers that predate
+	// SF reject it at Peek and drop the frame without dropping the
+	// connection.
+	KindFilterSet
 )
 
 // MaxDim bounds tuple dimensionality on decode, guarding against corrupt
@@ -146,7 +155,7 @@ func Peek(b []byte) (Kind, error) {
 		return 0, fmt.Errorf("wire: empty message")
 	}
 	k := Kind(b[0])
-	if k != KindQuery && k != KindResult {
+	if k != KindQuery && k != KindResult && k != KindFilterSet {
 		return 0, fmt.Errorf("wire: unknown message kind %d", b[0])
 	}
 	return k, nil
