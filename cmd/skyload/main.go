@@ -1,0 +1,91 @@
+// Command skyload is the open-loop load harness for the gateway front
+// tier: it offers queries at a FIXED arrival rate — a slow or shedding
+// gateway does not slow the offered load down, so there is no coordinated
+// omission — and reports goodput, shed rate (by reason), and latency
+// quantiles over what was accepted.
+//
+// Against a skypeer gateway:
+//
+//	skypeer -dirserver :7940
+//	skypeer -join 127.0.0.1:7940 -id 0 -data dev-00.csv \
+//	        -gateway :7950 -gwrate 50 -gwmaxspeed 10 -gwslack 25
+//	skyload -addr 127.0.0.1:7950 -qps 100 -duration 10s -regions 4
+//
+// A sweep over offered rates (the overload curve for EXPERIMENTS.md):
+//
+//	skyload -addr 127.0.0.1:7950 -qps 25,50,100 -duration 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"manetskyline/internal/core"
+	"manetskyline/internal/gateway"
+	"manetskyline/internal/tuple"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "skyload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "", "gateway front-door address to load")
+		qps      = flag.String("qps", "50", "offered arrival rate(s), comma-separated for a sweep")
+		duration = flag.Duration("duration", 10*time.Second, "how long to offer load at each rate")
+		timeout  = flag.Duration("timeout", 2*time.Second, "per-request round-trip budget")
+		regions  = flag.Int("regions", 1, "distinct query regions cycled round-robin (fewer = more coalescing)")
+		spread   = flag.Float64("spread", 1000, "distance between consecutive query regions")
+		d        = flag.Float64("d", 0, "distance of interest per query (0 = unconstrained)")
+		clientID = flag.Int("client", 1000, "originator device id stamped on queries")
+		gap      = flag.Duration("gap", time.Second, "pause between sweep points")
+	)
+	flag.Parse()
+	if *addr == "" {
+		return fmt.Errorf("need -addr (see -help)")
+	}
+	if *regions < 1 {
+		*regions = 1
+	}
+
+	points := make([]tuple.Point, *regions)
+	for i := range points {
+		points[i] = tuple.Point{X: float64(i) * *spread, Y: float64(i) * *spread}
+	}
+
+	rates := strings.Split(*qps, ",")
+	for i, raw := range rates {
+		rate, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		if err != nil || rate <= 0 {
+			return fmt.Errorf("bad qps value %q", raw)
+		}
+		rep, err := gateway.RunLoad(gateway.LoadConfig{
+			Addr:     *addr,
+			QPS:      rate,
+			Duration: *duration,
+			Timeout:  *timeout,
+			Regions:  points,
+			D:        *d,
+			ClientID: core.DeviceID(*clientID),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		if len(rep.ShedByReason) > 0 {
+			fmt.Printf("  shed by reason: %v\n", rep.ShedByReason)
+		}
+		if i < len(rates)-1 {
+			time.Sleep(*gap)
+		}
+	}
+	return nil
+}

@@ -17,6 +17,14 @@
 // by heartbeat; if the process crashes, the lease decays and the other
 // peers prune it from their flood fan-out instead of black-holing frames.
 //
+// With -gateway ADDR a peer additionally serves the overload-hardened
+// query front door (internal/gateway): clients send query frames to that
+// address and get results or explicit reject frames back, under
+// single-flight coalescing (-gwrate, -gwburst, -gwqueue for admission
+// control; -gwmaxspeed/-gwslack/-gwcachettl for the movement-aware result
+// cache; -breaker/-breakercooldown for per-neighbor circuit breakers on
+// the transport). Drive it with cmd/skyload.
+//
 // Any mode accepts -http ADDR to serve live telemetry: /metrics
 // (Prometheus text), /metrics.json (snapshot), and /debug/pprof. With
 // -trace the peer additionally records per-hop transport spans, served at
@@ -37,6 +45,7 @@ import (
 	"syscall"
 
 	"manetskyline/internal/core"
+	"manetskyline/internal/gateway"
 	"manetskyline/internal/gen"
 	"manetskyline/internal/tcp"
 	"manetskyline/internal/telemetry"
@@ -69,6 +78,19 @@ func run() error {
 		httpAddr  = flag.String("http", "", "serve /metrics, /metrics.json, /trace.jsonl, /flight.jsonl, and /debug/pprof on this address")
 		traceOn   = flag.Bool("trace", false, "record per-hop transport spans, served at /trace.jsonl (needs -http)")
 		flightN   = flag.Int("flight", 0, "keep a flight recorder of the last N fault events, served at /flight.jsonl (needs -http)")
+
+		gwAddr     = flag.String("gateway", "", "serve a query front door on this address: single-flight coalescing, movement-aware cache, admission control")
+		gwRate     = flag.Float64("gwrate", 0, "gateway: sustained admitted queries/sec (0 = unlimited)")
+		gwBurst    = flag.Int("gwburst", 0, "gateway: token-bucket burst (0 = ceil(rate))")
+		gwQueue    = flag.Int("gwqueue", 0, "gateway: bounded admission queue depth (0 = 64)")
+		gwTTL      = flag.Duration("gwcachettl", 0, "gateway: cap on the result cache TTL (0 = movement bound only)")
+		gwSpeed    = flag.Float64("gwmaxspeed", 0, "gateway: scenario speed bound (units/sec) deriving the movement-aware cache TTL")
+		gwSlack    = flag.Float64("gwslack", 0, "gateway: movement (distance units) a cached skyline may absorb before expiring")
+		gwDeadline = flag.Duration("gwdeadline", 0, "gateway: per-request deadline including queueing (0 = 2s)")
+		gwSF       = flag.Bool("gwsf", false, "gateway: run admitted queries under the SF strategy instead of the BF flood")
+
+		breakerN  = flag.Int("breaker", 0, "open a per-neighbor circuit breaker after N consecutive dial failures (0 = off)")
+		breakerCD = flag.Duration("breakercooldown", 0, "circuit breaker cooldown before the half-open probe (0 = 2s)")
 	)
 	flag.Parse()
 
@@ -150,6 +172,8 @@ func run() error {
 	cfg.Spans = spans
 	cfg.Flight = flight
 	cfg.LeaseTTL = *lease
+	cfg.BreakerThreshold = *breakerN
+	cfg.BreakerCooldown = *breakerCD
 	peer, err := tcp.NewPeer(core.DeviceID(*id), data, schema, est, true,
 		tuple.Point{X: *x, Y: *y}, client, cfg)
 	if err != nil {
@@ -172,6 +196,51 @@ func run() error {
 
 	fmt.Printf("peer %d on %s with %d tuples at (%.0f,%.0f)\n",
 		*id, peer.Addr(), len(data), *x, *y)
+
+	if *gwAddr != "" {
+		// Gateway mode: this peer becomes the fleet's query front door.
+		// Quorum size tracks the live directory so crashed peers fall out
+		// of the wait; -peers freezes it instead.
+		peersFn := func() int {
+			if *peers > 0 {
+				return *peers
+			}
+			if all, err := client.List(); err == nil {
+				return len(all)
+			}
+			return 0
+		}
+		g, err := gateway.New(gateway.PeerBackend(peer, peersFn, 1), gateway.Config{
+			Rate:            *gwRate,
+			Burst:           *gwBurst,
+			QueueDepth:      *gwQueue,
+			DefaultDeadline: *gwDeadline,
+			CacheTTL:        *gwTTL,
+			MaxSpeed:        *gwSpeed,
+			MovementSlack:   *gwSlack,
+			Registry:        reg,
+		})
+		if err != nil {
+			return err
+		}
+		defer g.Close()
+		strategy := gateway.BF
+		if *gwSF {
+			strategy = gateway.SF
+		}
+		srv, err := gateway.NewServer(g, gateway.ServerConfig{
+			Addr: *gwAddr, ID: core.DeviceID(*id), Strategy: strategy, ReqTimeout: *gwDeadline,
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("gateway front door on %s (rate %g qps, cache ttl %v)\n",
+			srv.Addr(), *gwRate, g.CacheTTL())
+		fmt.Println("serving; ctrl-c to stop")
+		waitForSignal()
+		return nil
+	}
 
 	if *query <= 0 {
 		fmt.Println("serving; ctrl-c to stop")

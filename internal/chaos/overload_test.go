@@ -1,0 +1,87 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"manetskyline/internal/faults"
+	"manetskyline/internal/gateway"
+	"manetskyline/internal/leaktest"
+	"manetskyline/internal/telemetry"
+)
+
+// TestSoakOverload is the overload gate: a 9-peer grid under the
+// crash+partition plan, fronted by a gateway rate-limited to roughly half
+// the offered load. The run must end with (1) zero unexplained outcomes —
+// every query either served or explicitly rejected, no silent timeouts;
+// (2) real shedding, attributed by reason; (3) mean recall over the
+// ACCEPTED queries at the same ≥0.9 floor the plain soaks enforce; and
+// (4) bounded tail latency for what was accepted.
+func TestSoakOverload(t *testing.T) {
+	defer leaktest.Check(t)()
+	plan, err := faults.Named("crash+partition", 9, 3.0)
+	if err != nil {
+		t.Fatalf("Named: %v", err)
+	}
+	reg := telemetry.NewRegistry()
+	peer := soakPeerConfig(reg)
+	peer.BreakerThreshold = 3
+	peer.BreakerCooldown = 500 * time.Millisecond
+	res, err := SoakOverload(OverloadConfig{
+		Grid: 3, Tuples: 1800, Seed: 5,
+		Plan: plan, Horizon: 3.0, Wall: 3 * time.Second,
+		OfferedQPS:  30,
+		Regions:     4,
+		ReqDeadline: time.Second,
+		Peer:        peer,
+		Gateway: gateway.Config{
+			Rate: 3, Burst: 2, QueueDepth: 2,
+			MaxSpeed: 10, MovementSlack: 1, // 100ms movement-aware TTL
+			Registry: reg,
+		},
+	})
+	if err != nil {
+		t.Fatalf("SoakOverload: %v", err)
+	}
+	t.Logf("overload soak: %s", res)
+
+	if res.Sent < 60 {
+		t.Fatalf("open-loop clock fired only %d arrivals", res.Sent)
+	}
+	if got := res.Accepted + res.Shedded + res.BackendErrors + res.Unexplained; got != res.Sent {
+		t.Errorf("outcome accounting leaks requests: %d classified of %d sent", got, res.Sent)
+	}
+	if res.Unexplained != 0 {
+		t.Errorf("%d queries ended without an explicit outcome — the contract is zero silent timeouts", res.Unexplained)
+	}
+	if res.Shedded == 0 {
+		t.Errorf("2x-capacity overload shed nothing; admission control is not engaging")
+	}
+	if len(res.ShedByReason) == 0 {
+		t.Errorf("sheds carry no reason attribution: %+v", res)
+	}
+	if res.Accepted == 0 {
+		t.Fatalf("overloaded gateway accepted nothing")
+	}
+	if res.MeanRecall < 0.9 {
+		t.Errorf("mean recall over accepted queries = %.3f, want >= 0.9 — overload must not corrupt what IS served",
+			res.MeanRecall)
+	}
+	// Accepted-query tail: an admitted leader can wait out its admission
+	// deadline and then run one full transport query, but never longer —
+	// the bound is structural, not the soak wall clock.
+	if limit := soakPeerConfig(nil).QueryTimeout + time.Second + 500*time.Millisecond; res.P99 > limit {
+		t.Errorf("p99 over accepted queries = %v, want <= %v", res.P99, limit)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["gateway_coalesced_total"] == 0 {
+		t.Errorf("gateway_coalesced_total = 0; identical queries under overload must coalesce")
+	}
+	if snap.Counters["gateway_shed_total"] == 0 {
+		t.Errorf("gateway_shed_total = 0 after an overload run")
+	}
+	if snap.Counters["gateway_requests_total"] != int64(res.Sent) {
+		t.Errorf("gateway_requests_total = %d, want %d", snap.Counters["gateway_requests_total"], res.Sent)
+	}
+}

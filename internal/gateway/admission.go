@@ -1,0 +1,85 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is a mutex-guarded token bucket with reservations: a caller
+// may commit to a token that will exist `wait` from now, which is what
+// makes admission deadline-aware — the bucket can say up front whether the
+// wait fits the caller's deadline instead of making it find out by timeout.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64 // may go negative: committed reservations
+	last   time.Time
+}
+
+// newTokenBucket starts full.
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// refillLocked advances the bucket to now.
+func (tb *tokenBucket) refillLocked(now time.Time) {
+	if tb.last.IsZero() {
+		tb.last = now
+		return
+	}
+	if dt := now.Sub(tb.last).Seconds(); dt > 0 {
+		tb.tokens += dt * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+		tb.last = now
+	}
+}
+
+// reserve commits one token if it will exist within maxWait, returning how
+// long the caller must sleep before proceeding. When the wait would exceed
+// maxWait nothing is committed and the honest wait comes back as the
+// retry-after hint with ok=false.
+func (tb *tokenBucket) reserve(now time.Time, maxWait time.Duration) (time.Duration, bool) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.refillLocked(now)
+	need := 1 - tb.tokens
+	if need <= 0 {
+		tb.tokens--
+		return 0, true
+	}
+	wait := time.Duration(need / tb.rate * float64(time.Second))
+	if wait > maxWait {
+		return wait, false
+	}
+	tb.tokens--
+	return wait, true
+}
+
+// eta reports how long until one token is available, without committing —
+// the retry-after hint for queue-full sheds.
+func (tb *tokenBucket) eta(now time.Time) time.Duration {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.refillLocked(now)
+	need := 1 - tb.tokens
+	if need <= 0 {
+		return 0
+	}
+	return time.Duration(need / tb.rate * float64(time.Second))
+}
+
+// cancel returns a committed token (a reservation abandoned at shutdown).
+func (tb *tokenBucket) cancel() {
+	tb.mu.Lock()
+	tb.tokens++
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	tb.mu.Unlock()
+}

@@ -1,0 +1,88 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+
+	"manetskyline/internal/telemetry"
+)
+
+// resultCache is the movement-aware TTL cache: a skyline stays valid only
+// until device movement could have changed it, so entries expire on the
+// TTL Config.TTL derives from the scenario speed bound rather than being
+// invalidated by hand.
+type cacheEntry struct {
+	res     Response
+	expires time.Time
+}
+
+type resultCache struct {
+	mu      sync.Mutex
+	ttl     time.Duration
+	entries map[key]cacheEntry
+	gauge   *telemetry.Gauge
+}
+
+// newResultCache builds a cache with the given (positive) TTL.
+func newResultCache(ttl time.Duration, gauge *telemetry.Gauge) *resultCache {
+	return &resultCache{ttl: ttl, entries: make(map[key]cacheEntry), gauge: gauge}
+}
+
+// get returns a fresh entry (ok=true) or reports that one existed but had
+// expired (stale=true); expired entries are evicted on the spot.
+func (c *resultCache) get(k key, now time.Time) (res Response, ok, stale bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, found := c.entries[k]
+	if !found {
+		return Response{}, false, false
+	}
+	if now.After(e.expires) {
+		delete(c.entries, k)
+		c.gauge.Set(int64(len(c.entries)))
+		return Response{}, false, true
+	}
+	return e.res, true, false
+}
+
+// put stores a served response under its key.
+func (c *resultCache) put(k key, res Response, now time.Time) {
+	c.mu.Lock()
+	c.entries[k] = cacheEntry{res: res, expires: now.Add(c.ttl)}
+	c.gauge.Set(int64(len(c.entries)))
+	c.mu.Unlock()
+}
+
+// sweep evicts everything expired at now.
+func (c *resultCache) sweep(now time.Time) {
+	c.mu.Lock()
+	for k, e := range c.entries {
+		if now.After(e.expires) {
+			delete(c.entries, k)
+		}
+	}
+	c.gauge.Set(int64(len(c.entries)))
+	c.mu.Unlock()
+}
+
+// janitor sweeps on a TTL-derived cadence until stop closes. Keys that are
+// read again expire inline in get (and are counted stale); the janitor only
+// exists so regions nobody queries anymore don't pin their last skyline
+// forever, hence the deliberately lazy 10×TTL period.
+func (c *resultCache) janitor(ttl time.Duration, stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	period := 10 * ttl
+	if period < 100*time.Millisecond {
+		period = 100 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			c.sweep(now)
+		case <-stop:
+			return
+		}
+	}
+}

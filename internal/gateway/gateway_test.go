@@ -1,0 +1,261 @@
+package gateway
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"manetskyline/internal/leaktest"
+	"manetskyline/internal/tcp"
+	"manetskyline/internal/telemetry"
+	"manetskyline/internal/tuple"
+)
+
+// stubBackend returns a fixed skyline, counting calls. release, when
+// non-nil, blocks every call until it is closed.
+func stubBackend(calls *atomic.Int64, release chan struct{}) Backend {
+	return func(req Request) (tcp.QueryResult, error) {
+		calls.Add(1)
+		if release != nil {
+			<-release
+		}
+		return tcp.QueryResult{
+			Skyline:  []tuple.Tuple{{X: 1, Y: 2, Attrs: []float64{3, 4}}},
+			Results:  2,
+			Complete: true,
+		}, nil
+	}
+}
+
+// waitFor polls cond for up to 2 seconds.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSingleFlightCoalescing pins the tentpole property: N identical
+// concurrent queries run ONE MANET execution; the rest attach to it and
+// share the result.
+func TestSingleFlightCoalescing(t *testing.T) {
+	defer leaktest.Check(t)()
+	reg := telemetry.NewRegistry()
+	var calls atomic.Int64
+	release := make(chan struct{})
+	g, err := New(stubBackend(&calls, release), Config{Registry: reg})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer g.Close()
+
+	req := Request{Pos: tuple.Point{X: 100, Y: 100}, D: 200}
+	const followers = 7
+	results := make(chan Response, followers+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // leader
+		defer wg.Done()
+		res, err := g.Do(req)
+		if err != nil {
+			t.Errorf("leader Do: %v", err)
+		}
+		results <- res
+	}()
+	waitFor(t, "leader inside backend", func() bool { return calls.Load() == 1 })
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := g.Do(req)
+			if err != nil {
+				t.Errorf("follower Do: %v", err)
+			}
+			results <- res
+		}()
+	}
+	waitFor(t, "followers attached", func() bool {
+		return reg.Snapshot().Counters["gateway_coalesced_total"] == followers
+	})
+	close(release)
+	wg.Wait()
+	close(results)
+
+	var live, coalesced int
+	for res := range results {
+		if len(res.Skyline) != 1 || !res.Complete {
+			t.Errorf("shared result corrupted: %+v", res)
+		}
+		switch res.Source {
+		case SourceLive:
+			live++
+		case SourceCoalesced:
+			coalesced++
+		default:
+			t.Errorf("unexpected source %v", res.Source)
+		}
+	}
+	if live != 1 || coalesced != followers {
+		t.Errorf("live=%d coalesced=%d, want 1/%d", live, coalesced, followers)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("backend ran %d times for %d identical queries", calls.Load(), followers+1)
+	}
+}
+
+// TestCacheTTLDerivedFromSpeedBound pins the movement-aware TTL: with a
+// 10 u/s speed bound and 0.5 u of slack the cache must serve for 50 ms and
+// not a moment past it.
+func TestCacheTTLDerivedFromSpeedBound(t *testing.T) {
+	defer leaktest.Check(t)()
+	reg := telemetry.NewRegistry()
+	var calls atomic.Int64
+	cfg := Config{MaxSpeed: 10, MovementSlack: 0.5, Registry: reg}
+	if ttl := cfg.TTL(); ttl != 50*time.Millisecond {
+		t.Fatalf("TTL() = %v, want 50ms from slack/speed", ttl)
+	}
+	g, err := New(stubBackend(&calls, nil), cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer g.Close()
+
+	req := Request{Pos: tuple.Point{X: 10, Y: 10}, D: 100}
+	if res, err := g.Do(req); err != nil || res.Source != SourceLive {
+		t.Fatalf("first query: res=%+v err=%v, want live", res, err)
+	}
+	res, err := g.Do(req)
+	if err != nil || res.Source != SourceCache {
+		t.Fatalf("immediate repeat: source=%v err=%v, want cache hit", res.Source, err)
+	}
+	// A position elsewhere in the SAME 250-unit region cell shares the entry.
+	if res, err := g.Do(Request{Pos: tuple.Point{X: 200, Y: 200}, D: 100}); err != nil || res.Source != SourceCache {
+		t.Fatalf("same-cell query: source=%v err=%v, want cache hit", res.Source, err)
+	}
+	// A different region cell must not.
+	if res, err := g.Do(Request{Pos: tuple.Point{X: 900, Y: 900}, D: 100}); err != nil || res.Source != SourceLive {
+		t.Fatalf("cross-cell query: source=%v err=%v, want live", res.Source, err)
+	}
+
+	time.Sleep(80 * time.Millisecond) // movement budget exhausted
+	if res, err := g.Do(req); err != nil || res.Source != SourceLive {
+		t.Fatalf("post-TTL query: source=%v err=%v, want live re-execution", res.Source, err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["gateway_cache_hits_total"] != 2 {
+		t.Errorf("gateway_cache_hits_total = %d, want 2", snap.Counters["gateway_cache_hits_total"])
+	}
+	if snap.Counters["gateway_cache_stale_total"] == 0 {
+		t.Errorf("gateway_cache_stale_total = 0; the expired entry was not observed")
+	}
+	if calls.Load() != 3 {
+		t.Errorf("backend ran %d times, want 3 (first, cross-cell, post-TTL)", calls.Load())
+	}
+
+	// The cap side: an explicit CacheTTL below the movement bound wins.
+	capped := Config{MaxSpeed: 1, MovementSlack: 100, CacheTTL: time.Second}
+	if ttl := capped.TTL(); ttl != time.Second {
+		t.Errorf("TTL() = %v, want the 1s cap under a 100s movement bound", ttl)
+	}
+}
+
+// TestAdmissionShedsExplicitly pins the overload contract: beyond the rate
+// and queue budget every query gets an explicit SheddedError with a
+// retry-after hint — never a silent wait.
+func TestAdmissionShedsExplicitly(t *testing.T) {
+	defer leaktest.Check(t)()
+	reg := telemetry.NewRegistry()
+	var calls atomic.Int64
+	g, err := New(stubBackend(&calls, nil), Config{
+		Rate: 2, Burst: 1, QueueDepth: 1,
+		DefaultDeadline: 100 * time.Millisecond,
+		Registry:        reg,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer g.Close()
+
+	// Token 1: admitted immediately.
+	if _, err := g.Do(Request{Pos: tuple.Point{X: 0, Y: 0}}); err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	// Distinct key, empty bucket: the ~500ms token wait exceeds the 100ms
+	// deadline, so the gateway must reject NOW with the honest wait.
+	start := time.Now()
+	_, err = g.Do(Request{Pos: tuple.Point{X: 1000, Y: 1000}})
+	if !errors.Is(err, ErrShedded) {
+		t.Fatalf("over-rate query error = %v, want ErrShedded", err)
+	}
+	var se *SheddedError
+	if !errors.As(err, &se) {
+		t.Fatalf("over-rate error %T does not carry a *SheddedError", err)
+	}
+	if se.RetryAfter <= 0 {
+		t.Errorf("rate shed has no retry-after hint: %+v", se)
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Errorf("rate shed took %v; rejection must be immediate, not deadline-paced", elapsed)
+	}
+
+	// Queue shed: one request is allowed to wait for a token; a second
+	// waiter overflows QueueDepth=1 and is shed with the queue code.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g.Do(Request{Pos: tuple.Point{X: 2000, Y: 2000}, Deadline: time.Now().Add(5 * time.Second)})
+	}()
+	waitFor(t, "a request waiting in the admission queue", func() bool {
+		return reg.Snapshot().Gauges["gateway_queue_depth"] >= 1
+	})
+	_, err = g.Do(Request{Pos: tuple.Point{X: 3000, Y: 3000}, Deadline: time.Now().Add(5 * time.Second)})
+	if !errors.As(err, &se) || wireCode(se) != "queue" {
+		t.Errorf("queue overflow error = %v, want a queue-code SheddedError", err)
+	}
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	if snap.Counters["gateway_shed_total"] < 2 {
+		t.Errorf("gateway_shed_total = %d, want >= 2", snap.Counters["gateway_shed_total"])
+	}
+	if snap.Counters[`gateway_shed_reason_total{reason="rate"}`] == 0 {
+		t.Errorf("rate shed not attributed in gateway_shed_reason_total")
+	}
+	if snap.Counters[`gateway_shed_reason_total{reason="queue"}`] == 0 {
+		t.Errorf("queue shed not attributed in gateway_shed_reason_total")
+	}
+}
+
+// wireCode names a shed error's reject code.
+func wireCode(se *SheddedError) string {
+	return map[uint8]string{0: "rate", 1: "queue", 2: "deadline", 3: "unavailable"}[se.Code]
+}
+
+// TestGatewayCloseIsLeakFreeAndExplicit gates the lifecycle: Close stops
+// the cache janitor, later queries fail with ErrGatewayClosed, and no
+// goroutine outlives the gateway.
+func TestGatewayCloseIsLeakFreeAndExplicit(t *testing.T) {
+	defer leaktest.Check(t)()
+	var calls atomic.Int64
+	g, err := New(stubBackend(&calls, nil), Config{
+		Rate: 100, MaxSpeed: 5, MovementSlack: 1, // cache on: janitor goroutine alive
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := g.Do(Request{Pos: tuple.Point{X: 1, Y: 1}}); err != nil {
+		t.Fatalf("Do before close: %v", err)
+	}
+	g.Close()
+	g.Close() // idempotent
+	if _, err := g.Do(Request{Pos: tuple.Point{X: 2, Y: 2}}); !errors.Is(err, ErrGatewayClosed) {
+		t.Errorf("Do after close error = %v, want ErrGatewayClosed", err)
+	}
+}

@@ -1,0 +1,192 @@
+package gateway
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"manetskyline/internal/core"
+	"manetskyline/internal/tuple"
+	"manetskyline/internal/wire"
+)
+
+// LoadConfig drives one open-loop load run against a gateway Server.
+//
+// Open-loop means arrivals come from a fixed-rate clock, not from request
+// completions: a slow or shedding gateway does not slow the offered load
+// down, which is exactly the regime where closed-loop harnesses flatter a
+// system (coordinated omission). Each arrival gets its own connection and
+// goroutine, so a stuck request delays nothing.
+type LoadConfig struct {
+	// Addr is the gateway server to hit.
+	Addr string
+	// QPS is the offered arrival rate (must be positive).
+	QPS float64
+	// Duration is how long arrivals are generated (must be positive).
+	Duration time.Duration
+	// Timeout bounds each request round trip (0 ⇒ 2s). A request that
+	// gets no frame back inside it counts as a Timeout — the failure mode
+	// the gateway's explicit rejects exist to eliminate.
+	Timeout time.Duration
+	// Regions are the query positions, cycled round-robin (empty ⇒ one
+	// region at the origin). More regions means fewer coalescing/cache
+	// collisions.
+	Regions []tuple.Point
+	// D is each query's distance of interest (0 ⇒ unconstrained).
+	D float64
+	// ClientID stamps the queries' originator field.
+	ClientID core.DeviceID
+}
+
+// LoadReport summarizes one load run.
+type LoadReport struct {
+	// Offered is the configured arrival rate; Sent is how many requests
+	// the clock actually fired.
+	Offered float64
+	Sent    int
+	// Accepted got a result frame; Shedded got an explicit reject frame
+	// (split by reason in ShedByReason); Timeouts got nothing inside the
+	// round-trip budget; Errors covers dial/protocol failures.
+	Accepted     int
+	Shedded      int
+	ShedByReason map[string]int
+	Timeouts     int
+	Errors       int
+	// GoodputQPS is accepted results per second of run time; ShedRate is
+	// the shed fraction of all sent requests.
+	GoodputQPS float64
+	ShedRate   float64
+	// P50/P95/P99 are latency quantiles over accepted requests.
+	P50, P95, P99 time.Duration
+	// Elapsed is the whole run including the drain of in-flight requests.
+	Elapsed time.Duration
+}
+
+// String renders the report as one log-friendly line.
+func (r LoadReport) String() string {
+	return fmt.Sprintf(
+		"offered %.0f qps: sent %d, accepted %d (goodput %.1f qps), shed %d (%.1f%%), timeouts %d, errors %d, p50 %v p95 %v p99 %v",
+		r.Offered, r.Sent, r.Accepted, r.GoodputQPS, r.Shedded, 100*r.ShedRate,
+		r.Timeouts, r.Errors, r.P50, r.P95, r.P99)
+}
+
+// outcome is one request's classified result.
+type outcome struct {
+	kind    int // 0 accepted, 1 shedded, 2 timeout, 3 error
+	reason  string
+	latency time.Duration
+}
+
+// RunLoad executes one open-loop run and blocks until every request
+// goroutine has finished (so callers can leak-gate it).
+func RunLoad(cfg LoadConfig) (LoadReport, error) {
+	if cfg.QPS <= 0 || cfg.Duration <= 0 {
+		return LoadReport{}, fmt.Errorf("gateway: load run needs positive QPS and duration")
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	regions := cfg.Regions
+	if len(regions) == 0 {
+		regions = []tuple.Point{{}}
+	}
+
+	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	outcomes := make(chan outcome, int(cfg.QPS*cfg.Duration.Seconds())+16)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	ticker := time.NewTicker(interval)
+	sent := 0
+	for now := start; !now.After(deadline); {
+		wg.Add(1)
+		go issue(cfg, regions[sent%len(regions)], uint8(sent), outcomes, &wg)
+		sent++
+		now = <-ticker.C
+	}
+	ticker.Stop()
+	wg.Wait()
+	close(outcomes)
+
+	rep := LoadReport{
+		Offered:      cfg.QPS,
+		Sent:         sent,
+		ShedByReason: make(map[string]int),
+		Elapsed:      time.Since(start),
+	}
+	var lats []time.Duration
+	for o := range outcomes {
+		switch o.kind {
+		case 0:
+			rep.Accepted++
+			lats = append(lats, o.latency)
+		case 1:
+			rep.Shedded++
+			rep.ShedByReason[o.reason]++
+		case 2:
+			rep.Timeouts++
+		default:
+			rep.Errors++
+		}
+	}
+	rep.GoodputQPS = float64(rep.Accepted) / rep.Elapsed.Seconds()
+	if rep.Sent > 0 {
+		rep.ShedRate = float64(rep.Shedded) / float64(rep.Sent)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep.P50 = quantileDur(lats, 0.50)
+	rep.P95 = quantileDur(lats, 0.95)
+	rep.P99 = quantileDur(lats, 0.99)
+	return rep, nil
+}
+
+// issue runs one request on its own connection and classifies the outcome.
+func issue(cfg LoadConfig, pos tuple.Point, cnt uint8, out chan<- outcome, wg *sync.WaitGroup) {
+	defer wg.Done()
+	start := time.Now()
+	conn, err := net.DialTimeout("tcp", cfg.Addr, cfg.Timeout)
+	if err != nil {
+		out <- outcome{kind: 3}
+		return
+	}
+	defer conn.Close()
+	conn.SetDeadline(start.Add(cfg.Timeout))
+	q := core.Query{Org: cfg.ClientID, Cnt: cnt, Pos: pos, D: cfg.D}
+	if err := wire.WriteFrame(conn, wire.EncodeQuery(q)); err != nil {
+		out <- outcome{kind: 3}
+		return
+	}
+	msg, err := wire.ReadFrame(conn)
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			out <- outcome{kind: 2}
+		} else {
+			out <- outcome{kind: 3}
+		}
+		return
+	}
+	switch kind, _ := wire.Peek(msg); kind {
+	case wire.KindResult:
+		out <- outcome{kind: 0, latency: time.Since(start)}
+	case wire.KindReject:
+		rej, err := wire.DecodeReject(msg)
+		if err != nil {
+			out <- outcome{kind: 3}
+			return
+		}
+		out <- outcome{kind: 1, reason: wire.RejectCodeName(rej.Code)}
+	default:
+		out <- outcome{kind: 3}
+	}
+}
+
+// quantileDur picks the p-quantile of a sorted latency slice.
+func quantileDur(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,109 @@
+package gateway
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"manetskyline/internal/leaktest"
+	"manetskyline/internal/telemetry"
+	"manetskyline/internal/tuple"
+)
+
+// TestLoadgenAgainstLiveServer drives the open-loop generator at a rate a
+// permissive gateway fully absorbs: everything is accepted, latencies are
+// measured, and — the leak gate — every request goroutine is gone when
+// RunLoad returns.
+func TestLoadgenAgainstLiveServer(t *testing.T) {
+	defer leaktest.Check(t)()
+	var calls atomic.Int64
+	g, err := New(stubBackend(&calls, nil), Config{MaxSpeed: 5, MovementSlack: 2.5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer g.Close()
+	srv, err := NewServer(g, ServerConfig{ID: 9})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+
+	rep, err := RunLoad(LoadConfig{
+		Addr:     srv.Addr(),
+		QPS:      100,
+		Duration: 300 * time.Millisecond,
+		Timeout:  2 * time.Second,
+		Regions:  []tuple.Point{{X: 0, Y: 0}, {X: 1000, Y: 1000}},
+		D:        100,
+		ClientID: 1000,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Sent < 20 {
+		t.Fatalf("open-loop clock fired only %d arrivals at 100 qps over 300ms", rep.Sent)
+	}
+	if rep.Accepted != rep.Sent || rep.Shedded != 0 || rep.Timeouts != 0 || rep.Errors != 0 {
+		t.Errorf("unloaded gateway: %s — want everything accepted", rep)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Errorf("latency quantiles inconsistent: p50=%v p99=%v", rep.P50, rep.P99)
+	}
+	if rep.GoodputQPS <= 0 {
+		t.Errorf("goodput = %v, want positive", rep.GoodputQPS)
+	}
+}
+
+// TestLoadgenObservesExplicitSheds overdrives a tiny admission budget and
+// checks the generator classifies rejects as sheds — with reasons — rather
+// than timeouts or errors.
+func TestLoadgenObservesExplicitSheds(t *testing.T) {
+	defer leaktest.Check(t)()
+	reg := telemetry.NewRegistry()
+	var calls atomic.Int64
+	g, err := New(stubBackend(&calls, nil), Config{
+		Rate: 5, Burst: 1, QueueDepth: 1, Registry: reg,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer g.Close()
+	srv, err := NewServer(g, ServerConfig{ID: 9, ReqTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+
+	// 16 distinct regions defeat coalescing/caching, so ~5 qps of budget
+	// against 150 qps offered must shed most of the load — explicitly.
+	regions := make([]tuple.Point, 16)
+	for i := range regions {
+		regions[i] = tuple.Point{X: float64(i) * 1000, Y: float64(i) * 1000}
+	}
+	rep, err := RunLoad(LoadConfig{
+		Addr:     srv.Addr(),
+		QPS:      150,
+		Duration: 300 * time.Millisecond,
+		Timeout:  2 * time.Second,
+		Regions:  regions,
+		ClientID: 1001,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Shedded == 0 {
+		t.Fatalf("overdriven gateway shed nothing: %s", rep)
+	}
+	if rep.Timeouts != 0 {
+		t.Errorf("%d silent timeouts under overload: %s — every refusal must be explicit", rep.Timeouts, rep)
+	}
+	if len(rep.ShedByReason) == 0 {
+		t.Errorf("sheds carry no reasons: %+v", rep)
+	}
+	if rep.Accepted+rep.Shedded+rep.Errors != rep.Sent {
+		t.Errorf("outcome accounting leaks requests: %s", rep)
+	}
+	if got := reg.Snapshot().Counters["gateway_shed_total"]; got == 0 {
+		t.Errorf("gateway_shed_total = 0 after an overload run")
+	}
+}

@@ -1,0 +1,74 @@
+package gateway
+
+import (
+	"fmt"
+
+	"manetskyline/internal/telemetry"
+	"manetskyline/internal/wire"
+)
+
+// Metrics is the gateway's telemetry surface. The zero value (all nil) is
+// the disabled state; nil-safe increments make instrumentation
+// unconditional.
+type Metrics struct {
+	// Requests counts every Do call; Admitted the ones that ran a live
+	// MANET execution to completion.
+	Requests *telemetry.Counter
+	Admitted *telemetry.Counter
+	// Coalesced counts requests that attached to an identical in-flight
+	// execution instead of issuing their own flood.
+	Coalesced *telemetry.Counter
+	// CacheHits/CacheStale/CacheBypass dissect the movement-aware TTL
+	// cache: fresh answers served, entries found but past their TTL, and
+	// lookups skipped because the cache is disabled.
+	CacheHits   *telemetry.Counter
+	CacheStale  *telemetry.Counter
+	CacheBypass *telemetry.Counter
+	// Shed counts every explicit load-shed rejection; shedByReason splits
+	// it by wire reject code (rate, queue, deadline, unavailable).
+	Shed         *telemetry.Counter
+	shedByReason [4]*telemetry.Counter
+	// BackendErrors counts admitted queries whose MANET execution failed
+	// (e.g. tcp.ErrUnreachable after total dead-letter).
+	BackendErrors *telemetry.Counter
+	// QueueDepth is the number of requests currently inside the admission
+	// queue; CacheEntries the number of live cache entries.
+	QueueDepth   *telemetry.Gauge
+	CacheEntries *telemetry.Gauge
+	// Latency observes end-to-end gateway seconds for served requests.
+	Latency *telemetry.Histogram
+}
+
+// NewMetrics registers the gateway metrics in r (nil r ⇒ disabled).
+func NewMetrics(r *telemetry.Registry) Metrics {
+	m := Metrics{
+		Requests:  r.Counter("gateway_requests_total", "queries presented to the gateway"),
+		Admitted:  r.Counter("gateway_admitted_total", "queries that ran a live MANET execution"),
+		Coalesced: r.Counter("gateway_coalesced_total", "queries coalesced onto an identical in-flight execution"),
+		CacheHits: r.Counter("gateway_cache_hits_total", "queries answered from a fresh cache entry"),
+		CacheStale: r.Counter("gateway_cache_stale_total",
+			"cache lookups that found an entry past its movement-aware TTL"),
+		CacheBypass: r.Counter("gateway_cache_bypass_total", "cache lookups skipped because caching is disabled"),
+		Shed:        r.Counter("gateway_shed_total", "queries rejected explicitly by admission control"),
+		BackendErrors: r.Counter("gateway_backend_errors_total",
+			"admitted queries whose MANET execution returned an error"),
+		QueueDepth:   r.Gauge("gateway_queue_depth", "requests currently waiting in the admission queue"),
+		CacheEntries: r.Gauge("gateway_cache_entries", "live entries in the movement-aware result cache"),
+		Latency: r.Histogram("gateway_latency_seconds",
+			"end-to-end gateway latency of served requests", telemetry.LatencyBuckets()),
+	}
+	for code := range m.shedByReason {
+		m.shedByReason[code] = r.CounterL("gateway_shed_reason_total",
+			fmt.Sprintf("reason=%q", wire.RejectCodeName(uint8(code))),
+			"queries rejected by admission control, split by reject code")
+	}
+	return m
+}
+
+// shedReason returns the per-reason shed counter for a wire reject code.
+func (m *Metrics) shedReason(code uint8) *telemetry.Counter {
+	if int(code) < len(m.shedByReason) {
+		return m.shedByReason[code]
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package gateway
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"manetskyline/internal/core"
+	"manetskyline/internal/leaktest"
+	"manetskyline/internal/telemetry"
+	"manetskyline/internal/tuple"
+	"manetskyline/internal/wire"
+)
+
+// TestServerProtocol pins the front-door wire contract: a KindQuery frame
+// gets exactly one reply — KindResult with the echoed key on success,
+// KindReject with a reason and retry-after hint on shed.
+func TestServerProtocol(t *testing.T) {
+	defer leaktest.Check(t)()
+	reg := telemetry.NewRegistry()
+	var calls atomic.Int64
+	g, err := New(stubBackend(&calls, nil), Config{
+		Rate: 2, Burst: 1, QueueDepth: 1, Registry: reg,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer g.Close()
+	srv, err := NewServer(g, ServerConfig{ID: 42, ReqTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	// Query 1: the burst token admits it; the reply is a result frame
+	// echoing the query key and carrying the backend skyline.
+	q := core.Query{Org: 7, Cnt: 3, Pos: tuple.Point{X: 10, Y: 10}, D: 100}
+	if err := wire.WriteFrame(conn, wire.EncodeQuery(q)); err != nil {
+		t.Fatalf("write query: %v", err)
+	}
+	msg, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("read reply: %v", err)
+	}
+	res, err := wire.DecodeResult(msg)
+	if err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	if res.Key != (core.QueryKey{Org: 7, Cnt: 3}) || res.From != 42 || len(res.Tuples) != 1 {
+		t.Errorf("result frame = %+v, want key 7/3 from 42 with 1 tuple", res)
+	}
+
+	// Query 2 in a DIFFERENT region (no cache/coalesce escape hatch) with
+	// an empty bucket: the reply must be an explicit reject, not silence.
+	q2 := core.Query{Org: 7, Cnt: 4, Pos: tuple.Point{X: 5000, Y: 5000}, D: 100}
+	if err := wire.WriteFrame(conn, wire.EncodeQuery(q2)); err != nil {
+		t.Fatalf("write query 2: %v", err)
+	}
+	msg, err = wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("read reply 2: %v", err)
+	}
+	if k, _ := wire.Peek(msg); k != wire.KindReject {
+		t.Fatalf("over-rate reply kind = %v, want KindReject", k)
+	}
+	rej, err := wire.DecodeReject(msg)
+	if err != nil {
+		t.Fatalf("decode reject: %v", err)
+	}
+	if rej.Key != (core.QueryKey{Org: 7, Cnt: 4}) {
+		t.Errorf("reject echoes key %+v, want 7/4", rej.Key)
+	}
+	if rej.Code != wire.RejectShedRate || rej.RetryAfterMs == 0 {
+		t.Errorf("reject = %+v, want rate code with a retry-after hint", rej)
+	}
+
+	// Query 3 back in region 1: served from cache/coalesce-free path? No —
+	// caching is off (no TTL configured), but the bucket has refilled a
+	// token by the time the hint says so.
+	time.Sleep(rej.RetryAfter() + 50*time.Millisecond)
+	if err := wire.WriteFrame(conn, wire.EncodeQuery(core.Query{Org: 7, Cnt: 5, Pos: q.Pos, D: 100})); err != nil {
+		t.Fatalf("write query 3: %v", err)
+	}
+	msg, err = wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("read reply 3: %v", err)
+	}
+	if k, _ := wire.Peek(msg); k != wire.KindResult {
+		t.Errorf("post-retry-after reply kind = %v, want KindResult", k)
+	}
+	if got := reg.Snapshot().Counters["gateway_shed_total"]; got != 1 {
+		t.Errorf("gateway_shed_total = %d, want 1", got)
+	}
+}
+
+// TestServerSurvivesGarbageAndClosesClean: a non-query frame is skipped, a
+// malformed query drops only that connection, and Close leaves no
+// goroutines behind even with clients attached.
+func TestServerSurvivesGarbageAndClosesClean(t *testing.T) {
+	defer leaktest.Check(t)()
+	var calls atomic.Int64
+	g, err := New(stubBackend(&calls, nil), Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer g.Close()
+	srv, err := NewServer(g, ServerConfig{ID: 1})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	// A result frame is not something clients send; the server skips it
+	// and still answers the query that follows on the same connection.
+	if err := wire.WriteFrame(conn, wire.EncodeResult(wire.Result{Key: core.QueryKey{Org: 1, Cnt: 1}, From: 2})); err != nil {
+		t.Fatalf("write garbage: %v", err)
+	}
+	if err := wire.WriteFrame(conn, wire.EncodeQuery(core.Query{Org: 1, Cnt: 2, D: 50})); err != nil {
+		t.Fatalf("write query: %v", err)
+	}
+	msg, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("read reply: %v", err)
+	}
+	if k, _ := wire.Peek(msg); k != wire.KindResult {
+		t.Errorf("reply after skipped frame = %v, want KindResult", k)
+	}
+
+	// Close with the client still connected: the conn is severed and all
+	// server goroutines drain (the deferred leaktest gate enforces it).
+	srv.Close()
+	srv.Close() // idempotent
+}

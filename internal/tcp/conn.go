@@ -22,10 +22,14 @@ type Invalidator interface {
 
 // outFrame is one queued message with its enqueue time and trace context;
 // frames older than Config.RetryTimeout are dead-lettered instead of
-// retried, since any query they belonged to has timed out anyway.
+// retried, since any query they belonged to has timed out anyway. fk, when
+// non-nil, ties the frame to a query pending at this originator: a
+// dead-lettered tagged frame fails that query's quorum slot immediately
+// (Peer.failSlot) instead of letting the query idle until its deadline.
 type outFrame struct {
 	msg []byte
 	tc  *wire.TraceContext
+	fk  *core.QueryKey
 	enq time.Time
 }
 
@@ -40,17 +44,25 @@ type peerConn struct {
 
 	queue chan outFrame
 
+	// br is the link's circuit breaker (nil = disabled).
+	br *breaker
+
 	// reconnects counts link re-establishments, surfaced by Peer.LinkStats
 	// and (with a registry) the per-link tcp_link_reconnects_total counter.
 	reconnects atomic.Int64
 	depth      *telemetry.Gauge
 	linkRecon  *telemetry.Counter
+	brState    *telemetry.Gauge
 }
 
 // newPeerConn starts the writer goroutine; the caller holds p.mu and has
 // already checked p.closed.
 func newPeerConn(p *Peer, id core.DeviceID) *peerConn {
-	pc := &peerConn{p: p, id: id, queue: make(chan outFrame, p.cfg.SendQueueLen)}
+	pc := &peerConn{
+		p: p, id: id,
+		queue: make(chan outFrame, p.cfg.SendQueueLen),
+		br:    newBreaker(p.cfg.BreakerThreshold, p.cfg.BreakerCooldown),
+	}
 	if p.cfg.Registry != nil {
 		// Cold path (once per link): per-neighbour labels make the pool's
 		// internal state scrapeable without touching the hot send path.
@@ -59,24 +71,46 @@ func newPeerConn(p *Peer, id core.DeviceID) *peerConn {
 			"frames currently queued on this neighbour link")
 		pc.linkRecon = p.cfg.Registry.CounterL("tcp_link_reconnects_total", lbl,
 			"re-establishments of this neighbour link")
+		if pc.br != nil {
+			pc.brState = p.cfg.Registry.GaugeL("tcp_breaker_state", lbl,
+				"circuit-breaker state of this link (0 closed, 1 open, 2 half-open)")
+		}
 	}
 	p.wg.Add(1)
 	go pc.run()
 	return pc
 }
 
+// setBreakerGauge mirrors the breaker state into its per-link gauge.
+func (pc *peerConn) setBreakerGauge() {
+	if pc.brState != nil {
+		s, _ := pc.br.snapshot()
+		pc.brState.Set(int64(s))
+	}
+}
+
 // enqueue hands one frame to the writer. A full queue dead-letters the
 // frame immediately: the peer is already far behind, and unbounded memory
-// is worse than loss the protocol's quorum/timeout machinery absorbs.
-func (pc *peerConn) enqueue(msg []byte, tc *wire.TraceContext) {
+// is worse than loss the protocol's quorum/timeout machinery absorbs. An
+// open circuit breaker drops the frame just as fast — a link the breaker
+// has condemned must not accumulate work either. Both paths fail the
+// frame's quorum slot when it carries one.
+func (pc *peerConn) enqueue(msg []byte, tc *wire.TraceContext, fk *core.QueryKey) {
+	if pc.br.fastFail(time.Now()) {
+		pc.p.met.BreakerDrops.Inc()
+		pc.p.flightEvent("breaker_drop", tc, "breaker to %d open, frame dropped", pc.id)
+		pc.p.failSlot(fk, pc.id, "breaker open")
+		return
+	}
 	select {
-	case pc.queue <- outFrame{msg: msg, tc: tc, enq: time.Now()}:
+	case pc.queue <- outFrame{msg: msg, tc: tc, fk: fk, enq: time.Now()}:
 		pc.depth.Set(int64(len(pc.queue)))
 		pc.p.traceStage(tc, telemetry.StageEnqueue, pc.id, wire.FrameWireSize(len(msg), tc != nil))
 	default:
 		pc.p.met.DeadLetters.Inc()
 		pc.p.flightEvent("dead_letter", tc, "send queue to %d full", pc.id)
 		pc.p.logf("tcp: peer %d: send queue to %d full, frame dead-lettered", pc.p.dev.ID, pc.id)
+		pc.p.failSlot(fk, pc.id, "send queue full")
 	}
 }
 
@@ -119,8 +153,10 @@ func (pc *peerConn) run() {
 }
 
 // deliver writes one frame, dialing and redialing as needed, until it is on
-// the wire, the frame expires, or the peer shuts down. It returns the
-// connection to keep for the next frame (nil when closed).
+// the wire, the frame expires, the link's breaker condemns it, or the peer
+// shuts down. It returns the connection to keep for the next frame (nil
+// when closed). A dead-lettered frame fails its quorum slot (when tagged)
+// so the waiting query learns immediately instead of idling to deadline.
 func (pc *peerConn) deliver(conn net.Conn, f outFrame) net.Conn {
 	p := pc.p
 	backoff := p.cfg.ReconnectBackoff
@@ -129,13 +165,30 @@ func (pc *peerConn) deliver(conn net.Conn, f outFrame) net.Conn {
 			p.met.DeadLetters.Inc()
 			p.flightEvent("dead_letter", f.tc, "frame to %d expired after %d attempts", pc.id, attempt)
 			p.logf("tcp: peer %d: frame to %d expired after %d attempts", p.dev.ID, pc.id, attempt)
+			p.failSlot(f.fk, pc.id, "retry window exhausted")
 			return conn
 		}
 		if conn == nil {
+			if !pc.br.allow(time.Now()) {
+				// Open breaker: drop the frame now rather than burning the
+				// retry budget re-dialing a peer known to be dead.
+				pc.setBreakerGauge()
+				p.met.BreakerDrops.Inc()
+				p.flightEvent("breaker_drop", f.tc, "breaker to %d open, frame dropped", pc.id)
+				p.failSlot(f.fk, pc.id, "breaker open")
+				return nil
+			}
+			pc.setBreakerGauge()
 			c, err := pc.dial()
 			if err != nil {
 				p.met.DialFailures.Inc()
 				p.flightEvent("dial_failure", f.tc, "dial %d: %v", pc.id, err)
+				if pc.br.failure(time.Now()) {
+					p.met.BreakerOpens.Inc()
+					p.flightEvent("breaker_open", f.tc, "breaker to %d opened after %d consecutive dial failures", pc.id, p.cfg.BreakerThreshold)
+					p.logf("tcp: peer %d: breaker to %d opened", p.dev.ID, pc.id)
+				}
+				pc.setBreakerGauge()
 				if inv, ok := p.dir.(Invalidator); ok {
 					inv.Invalidate(pc.id)
 				}
@@ -162,6 +215,8 @@ func (pc *peerConn) deliver(conn net.Conn, f outFrame) net.Conn {
 			p.met.MessagesOut.Inc()
 			p.met.BytesOut.Add(frameBytes(f.msg, f.tc != nil))
 			p.traceStage(f.tc, telemetry.StageWrite, pc.id, wire.FrameWireSize(len(f.msg), f.tc != nil))
+			pc.br.success()
+			pc.setBreakerGauge()
 			return conn
 		}
 		conn.Close()
@@ -220,6 +275,21 @@ func (p *Peer) LinkStats() []LinkStat {
 	return out
 }
 
+// BreakerStats reports every managed link's circuit-breaker state, sorted
+// by neighbour ID. Links without a breaker (Config.BreakerThreshold 0)
+// report BreakerClosed.
+func (p *Peer) BreakerStats() []BreakerStat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]BreakerStat, 0, len(p.conns))
+	for id, pc := range p.conns {
+		s, fails := pc.br.snapshot()
+		out = append(out, BreakerStat{To: id, State: s, ConsecFails: fails})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].To < out[j].To })
+	return out
+}
+
 // drain gives queued frames one best-effort flush within DrainTimeout so a
 // graceful shutdown does not strand results already computed (e.g. replies
 // to a query that arrived just before Close).
@@ -233,6 +303,7 @@ func (pc *peerConn) drain(conn net.Conn) {
 				c, err := pc.dial()
 				if err != nil {
 					p.met.DeadLetters.Inc()
+					p.failSlot(f.fk, pc.id, "undeliverable at shutdown")
 					continue
 				}
 				conn = c
@@ -242,6 +313,7 @@ func (pc *peerConn) drain(conn net.Conn) {
 				conn.Close()
 				conn = nil
 				p.met.DeadLetters.Inc()
+				p.failSlot(f.fk, pc.id, "undeliverable at shutdown")
 				continue
 			}
 			p.met.MessagesOut.Inc()

@@ -24,10 +24,18 @@ type Metrics struct {
 	// SendRetries counts frames re-attempted after a write failure;
 	// DeadLetters counts frames abandoned (queue full, retry window
 	// exhausted, or unflushable at shutdown); SendsSuppressed counts sends
-	// skipped because the directory no longer resolves the peer.
+	// skipped because the directory no longer resolves the peer;
+	// DeadLetterSlots counts quorum slots failed explicitly because a
+	// query's tagged flood frame was abandoned (the tcp_deadletter_total
+	// ledger behind the fail-fast query path).
 	SendRetries     *telemetry.Counter
 	DeadLetters     *telemetry.Counter
 	SendsSuppressed *telemetry.Counter
+	DeadLetterSlots *telemetry.Counter
+	// BreakerOpens counts circuit-breaker open transitions; BreakerDrops
+	// counts frames dropped because a link's breaker was open.
+	BreakerOpens *telemetry.Counter
+	BreakerDrops *telemetry.Counter
 	// DecodeFailures counts inbound frames whose decode failed (the
 	// connection is closed); FramesDropped counts well-framed messages of
 	// unknown kind that were skipped; DupResults counts duplicate result
@@ -72,6 +80,12 @@ func NewMetrics(r *telemetry.Registry) Metrics {
 		DeadLetters:   r.Counter("tcp_dead_letters_total", "frames abandoned after queue overflow or retry exhaustion"),
 		SendsSuppressed: r.Counter("tcp_sends_suppressed_total",
 			"sends skipped because the directory no longer resolves the peer"),
+		DeadLetterSlots: r.Counter("tcp_deadletter_total",
+			"quorum slots failed explicitly after a query flood frame was dead-lettered"),
+		BreakerOpens: r.Counter("tcp_breaker_opens_total",
+			"circuit-breaker open transitions across all links"),
+		BreakerDrops: r.Counter("tcp_breaker_drops_total",
+			"frames dropped because the link's circuit breaker was open"),
 		DecodeFailures: r.Counter("tcp_decode_failures_total", "inbound frames whose decode failed"),
 		FramesDropped:  r.Counter("tcp_frames_dropped_total", "well-framed inbound messages of unknown kind skipped"),
 		DupResults:     r.Counter("tcp_dup_results_total", "duplicate result frames ignored by the quorum dedupe"),

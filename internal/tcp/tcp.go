@@ -70,6 +70,14 @@ type Config struct {
 	// DrainTimeout bounds the best-effort flush of queued frames during
 	// Close (0 ⇒ 200ms).
 	DrainTimeout time.Duration
+	// BreakerThreshold arms a per-neighbour circuit breaker: this many
+	// consecutive dial failures open it, after which frames to the peer are
+	// dropped immediately (failing their quorum slot) instead of burning
+	// the retry budget. 0 disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before letting one
+	// half-open probe through (0 ⇒ 2s when breakers are armed).
+	BreakerCooldown time.Duration
 	// LeaseTTL, when positive, registers the peer with a directory lease of
 	// this duration and starts a heartbeat loop that keeps it alive; an
 	// expired lease makes the peer invisible to Lookup, pruning it from
@@ -117,7 +125,8 @@ func (c Config) Validate() error {
 	if c.WriteTimeout < 0 || c.ReadIdleTimeout < 0 || c.RetryTimeout < 0 ||
 		c.ReconnectBackoff < 0 || c.ReconnectBackoffMax < 0 ||
 		c.IdleConnTimeout < 0 || c.DrainTimeout < 0 ||
-		c.LeaseTTL < 0 || c.HeartbeatInterval < 0 || c.SendQueueLen < 0 {
+		c.LeaseTTL < 0 || c.HeartbeatInterval < 0 || c.SendQueueLen < 0 ||
+		c.BreakerThreshold < 0 || c.BreakerCooldown < 0 {
 		return fmt.Errorf("tcp: negative transport tuning field")
 	}
 	if c.SFSampleK < 0 || c.SFFilterK < 0 || c.SFSampleWait < 0 {
@@ -155,6 +164,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HeartbeatInterval == 0 && c.LeaseTTL > 0 {
 		c.HeartbeatInterval = c.LeaseTTL / 3
+	}
+	if c.BreakerCooldown == 0 && c.BreakerThreshold > 0 {
+		c.BreakerCooldown = 2 * time.Second
 	}
 	if c.SFSampleK == 0 {
 		c.SFSampleK = 2
@@ -205,6 +217,15 @@ type pendingQuery struct {
 	want    int
 	done    chan struct{}
 	closed  bool
+	// sent is how many initial flood frames the originator issued; failed
+	// tracks neighbours whose tagged frame dead-lettered (queue overflow,
+	// retry exhaustion, open breaker, or unresolvable peer). When every
+	// flood frame failed and nothing answered, no result can ever arrive:
+	// the query wakes immediately with deadErr instead of idling to its
+	// deadline.
+	sent    int
+	failed  map[core.DeviceID]bool
+	deadErr error
 }
 
 // NewPeer starts a peer listening on 127.0.0.1 (an ephemeral port),
@@ -446,6 +467,12 @@ func (p *Peer) serve(conn net.Conn) {
 				return
 			}
 			p.handleFilterSet(m, tc)
+		default:
+			// A kind this peer recognizes but has no protocol role for —
+			// e.g. a gateway reject frame reaching a plain peer. Skip it
+			// like an unknown kind: counted, logged, connection kept.
+			p.met.FramesDropped.Inc()
+			p.logf("tcp: peer %d: dropping unhandled frame kind %d from %s", p.dev.ID, kind, conn.RemoteAddr())
 		}
 	}
 }
@@ -457,8 +484,17 @@ func (p *Peer) serve(conn net.Conn) {
 // survive transient dial/write failures: the link's writer retries under
 // backoff until the frame exceeds RetryTimeout.
 func (p *Peer) send(to core.DeviceID, msg []byte, tc *wire.TraceContext) {
+	p.sendTagged(to, msg, tc, nil)
+}
+
+// sendTagged is send with an optional query-key tag: a tagged frame that
+// can never be delivered (peer unresolvable, queue overflow, retry window
+// exhausted, breaker open) fails that query's quorum slot immediately via
+// failSlot, so the originator learns instead of idling to its deadline.
+func (p *Peer) sendTagged(to core.DeviceID, msg []byte, tc *wire.TraceContext, fk *core.QueryKey) {
 	if _, ok := p.dir.Lookup(to); !ok {
 		p.met.SendsSuppressed.Inc()
+		p.failSlot(fk, to, "peer not in directory")
 		return
 	}
 	p.mu.Lock()
@@ -472,7 +508,39 @@ func (p *Peer) send(to core.DeviceID, msg []byte, tc *wire.TraceContext) {
 		p.conns[to] = pc
 	}
 	p.mu.Unlock()
-	pc.enqueue(msg, tc)
+	pc.enqueue(msg, tc, fk)
+}
+
+// ErrUnreachable reports a query whose every initial flood frame
+// dead-lettered before any result arrived: no peer ever heard the query,
+// so waiting out the deadline could not have produced anything. The
+// QueryResult returned alongside carries the originator's local skyline.
+var ErrUnreachable = errors.New("tcp: query flood dead-lettered to every neighbour")
+
+// failSlot records that the tagged flood frame for query key fk to
+// neighbour to was abandoned for the given cause. When every flood frame
+// has failed and no result has arrived, the pending query is woken with an
+// explicit ErrUnreachable instead of idling until its deadline. A nil fk
+// (untagged frame) is a no-op.
+func (p *Peer) failSlot(fk *core.QueryKey, to core.DeviceID, cause string) {
+	if fk == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pq := p.pending[*fk]
+	if pq == nil || pq.closed || pq.failed[to] {
+		return
+	}
+	pq.failed[to] = true
+	p.met.DeadLetterSlots.Inc()
+	if pq.deadErr == nil {
+		pq.deadErr = fmt.Errorf("%w (first: peer %d, %s)", ErrUnreachable, to, cause)
+	}
+	if pq.sent > 0 && len(pq.failed) >= pq.sent && pq.results == 0 {
+		pq.closed = true
+		close(pq.done)
+	}
 }
 
 // handleQuery runs the remote side of the flood: process once, return the
@@ -525,6 +593,10 @@ func (p *Peer) handleResult(r wire.Result, tc *wire.TraceContext) {
 		p.met.DupResults.Inc()
 		return
 	}
+	// A peer whose direct flood frame dead-lettered can still answer — the
+	// flood reaches it through other neighbours. Un-fail its slot so the
+	// unreachability accounting stays honest.
+	delete(pq.failed, r.From)
 	pq.from[r.From] = true
 	pq.merged = core.Merge(pq.merged, r.Tuples)
 	pq.results++
@@ -563,6 +635,7 @@ func (p *Peer) Query(d float64, totalPeers int) (QueryResult, error) {
 	pq := &pendingQuery{
 		merged: res.Skyline,
 		from:   make(map[core.DeviceID]bool),
+		failed: make(map[core.DeviceID]bool),
 		want:   want,
 		done:   make(chan struct{}),
 	}
@@ -577,11 +650,21 @@ func (p *Peer) Query(d float64, totalPeers int) (QueryResult, error) {
 
 	complete := want == 0
 	if !complete {
+		key := q.Key()
 		enc := wire.EncodeQuery(q)
-		qtc := p.traceCtx(q.Key(), 1)
+		qtc := p.traceCtx(key, 1)
 		for _, nb := range neighbors {
-			p.send(nb, enc, qtc)
+			p.sendTagged(nb, enc, qtc, &key)
 		}
+		// Arm the unreachability check only after every flood frame is
+		// tagged out, so a fast failSlot during the loop cannot fire early.
+		p.mu.Lock()
+		pq.sent = len(neighbors)
+		if !pq.closed && pq.sent > 0 && len(pq.failed) >= pq.sent && pq.results == 0 {
+			pq.closed = true
+			close(pq.done)
+		}
+		p.mu.Unlock()
 		timer := time.NewTimer(p.cfg.QueryTimeout)
 		defer timer.Stop()
 		select {
@@ -592,6 +675,11 @@ func (p *Peer) Query(d float64, totalPeers int) (QueryResult, error) {
 
 	p.mu.Lock()
 	complete = complete || pq.results >= pq.want
+	var qerr error
+	if !complete && pq.results == 0 && pq.deadErr != nil &&
+		pq.sent > 0 && len(pq.failed) >= pq.sent {
+		qerr = pq.deadErr
+	}
 	out := QueryResult{
 		Skyline:  append([]tuple.Tuple(nil), pq.merged...),
 		Results:  pq.results,
@@ -611,5 +699,5 @@ func (p *Peer) Query(d float64, totalPeers int) (QueryResult, error) {
 		}
 		p.cfg.Spans.Complete(spanKey(q.Key()), nowSecs(), len(out.Skyline))
 	}
-	return out, nil
+	return out, qerr
 }

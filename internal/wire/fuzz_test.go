@@ -95,6 +95,27 @@ func FuzzDecodeQuery(f *testing.F) {
 	})
 }
 
+// FuzzDecodeReject is the decode-side contract for the gateway's reject
+// frame: arbitrary bytes never panic, and every accepted message re-encodes
+// to the identical (canonical) bytes. Seeds live in
+// testdata/fuzz/FuzzDecodeReject.
+func FuzzDecodeReject(f *testing.F) {
+	f.Add(EncodeReject(Reject{Key: core.QueryKey{Org: 1, Cnt: 2}, Code: RejectShedRate, RetryAfterMs: 50}))
+	f.Add(EncodeReject(Reject{Key: core.QueryKey{Org: -9, Cnt: 255}, Code: RejectUnavailable, RetryAfterMs: 1<<32 - 1}))
+	f.Add([]byte{byte(KindReject)})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := DecodeReject(b)
+		if err != nil {
+			return
+		}
+		re := EncodeReject(r)
+		if string(re) != string(b) {
+			t.Fatalf("accepted non-canonical reject encoding:\n in: %x\nout: %x", b, re)
+		}
+	})
+}
+
 // FuzzDecodeResult is the same contract for result messages.
 func FuzzDecodeResult(f *testing.F) {
 	f.Add(EncodeResult(Result{Key: core.QueryKey{Org: 1, Cnt: 1}}))

@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"manetskyline/internal/core"
+)
+
+// The gateway front tier (internal/gateway) answers every query it cannot
+// serve with an explicit reject frame instead of a silent timeout — the
+// overload contract is "every request gets an answer, even if the answer is
+// no". The frame carries a machine-readable reason and a retry-after hint
+// the client's backoff can honour:
+//
+//	reject := kind:uint8 org:int32 cnt:uint8 code:uint8 retryafterms:uint32
+//
+// Peers that predate the gateway reject the unknown kind at Peek (older
+// builds) or skip it in their serve loop (builds that know the kind but do
+// not speak the gateway protocol) — either way the frame is dropped and
+// counted without disturbing the connection, mirroring the FilterSet
+// mixed-version story.
+
+// Reject reason codes carried by Reject.Code.
+const (
+	// RejectShedRate: the token bucket is empty and the wait for a token
+	// would exceed the request deadline.
+	RejectShedRate uint8 = iota
+	// RejectShedQueue: the admission queue is full.
+	RejectShedQueue
+	// RejectShedDeadline: the request's deadline expired while it waited
+	// (for a token or for a coalesced leader).
+	RejectShedDeadline
+	// RejectUnavailable: the backend failed or is shutting down.
+	RejectUnavailable
+
+	rejectCodeMax = RejectUnavailable
+)
+
+// RejectCodeName names a reject code for logs and metrics labels.
+func RejectCodeName(code uint8) string {
+	switch code {
+	case RejectShedRate:
+		return "rate"
+	case RejectShedQueue:
+		return "queue"
+	case RejectShedDeadline:
+		return "deadline"
+	case RejectUnavailable:
+		return "unavailable"
+	}
+	return "unknown"
+}
+
+// Reject is a decoded reject message: one query's explicit refusal.
+type Reject struct {
+	Key core.QueryKey
+	// Code classifies the refusal (RejectShed*, RejectUnavailable).
+	Code uint8
+	// RetryAfterMs hints when a retry could be admitted (0 = unknown).
+	RetryAfterMs uint32
+}
+
+// RetryAfter returns the hint as a duration.
+func (r Reject) RetryAfter() time.Duration {
+	return time.Duration(r.RetryAfterMs) * time.Millisecond
+}
+
+// EncodeReject serializes a reject message.
+func EncodeReject(r Reject) []byte {
+	b := make([]byte, 0, 1+4+1+1+4)
+	b = append(b, byte(KindReject))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(r.Key.Org)))
+	b = append(b, r.Key.Cnt)
+	b = append(b, r.Code)
+	b = binary.LittleEndian.AppendUint32(b, r.RetryAfterMs)
+	return b
+}
+
+// DecodeReject parses a message produced by EncodeReject.
+func DecodeReject(b []byte) (Reject, error) {
+	var r Reject
+	if len(b) < 1 || Kind(b[0]) != KindReject {
+		return r, fmt.Errorf("wire: not a reject message")
+	}
+	b = b[1:]
+	if len(b) != 4+1+1+4 {
+		return r, fmt.Errorf("wire: reject message has %d body bytes, want 10", len(b))
+	}
+	r.Key.Org = core.DeviceID(int32(binary.LittleEndian.Uint32(b)))
+	r.Key.Cnt = b[4]
+	r.Code = b[5]
+	if r.Code > rejectCodeMax {
+		return Reject{}, fmt.Errorf("wire: unknown reject code %d", r.Code)
+	}
+	r.RetryAfterMs = binary.LittleEndian.Uint32(b[6:])
+	return r, nil
+}

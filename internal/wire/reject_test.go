@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"manetskyline/internal/core"
+)
+
+func TestRejectRoundTrip(t *testing.T) {
+	cases := []Reject{
+		{Key: core.QueryKey{Org: 1, Cnt: 2}, Code: RejectShedRate, RetryAfterMs: 50},
+		{Key: core.QueryKey{Org: -7, Cnt: 255}, Code: RejectShedQueue},
+		{Key: core.QueryKey{Org: 0, Cnt: 0}, Code: RejectShedDeadline, RetryAfterMs: 0},
+		{Key: core.QueryKey{Org: 1 << 20, Cnt: 9}, Code: RejectUnavailable, RetryAfterMs: 1<<32 - 1},
+	}
+	for _, want := range cases {
+		enc := EncodeReject(want)
+		if k, err := Peek(enc); err != nil || k != KindReject {
+			t.Fatalf("Peek(%x) = %v, %v; want KindReject", enc, k, err)
+		}
+		got, err := DecodeReject(enc)
+		if err != nil {
+			t.Fatalf("DecodeReject(%+v): %v", want, err)
+		}
+		if got != want {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+		if re := EncodeReject(got); !bytes.Equal(re, enc) {
+			t.Errorf("re-encode not stable: %x vs %x", re, enc)
+		}
+	}
+}
+
+func TestRejectRetryAfter(t *testing.T) {
+	r := Reject{RetryAfterMs: 1500}
+	if got := r.RetryAfter(); got != 1500*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want 1.5s", got)
+	}
+}
+
+func TestDecodeRejectErrors(t *testing.T) {
+	good := EncodeReject(Reject{Key: core.QueryKey{Org: 3, Cnt: 1}, Code: RejectShedRate})
+	cases := map[string][]byte{
+		"empty":      {},
+		"wrong kind": {byte(KindQuery), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"truncated":  good[:len(good)-1],
+		"trailing":   append(append([]byte(nil), good...), 0),
+		"bad code":   {byte(KindReject), 0, 0, 0, 0, 0, rejectCodeMax + 1, 0, 0, 0, 0},
+	}
+	for name, b := range cases {
+		if _, err := DecodeReject(b); err == nil {
+			t.Errorf("%s: DecodeReject(%x) accepted, want error", name, b)
+		}
+	}
+}
+
+func TestRejectCodeNames(t *testing.T) {
+	want := map[uint8]string{
+		RejectShedRate: "rate", RejectShedQueue: "queue",
+		RejectShedDeadline: "deadline", RejectUnavailable: "unavailable",
+		rejectCodeMax + 1: "unknown",
+	}
+	for code, name := range want {
+		if got := RejectCodeName(code); got != name {
+			t.Errorf("RejectCodeName(%d) = %q, want %q", code, got, name)
+		}
+	}
+}

@@ -16,6 +16,8 @@
 //	filterset := org:int32 cnt:uint8 phase:uint8 from:int32
 //	             x:float64 y:float64 d:float64 samplek:uint16
 //	             count:uint32 tuple*                 (SF; see filterset.go)
+//	reject    := org:int32 cnt:uint8 code:uint8
+//	             retryafterms:uint32                 (gateway; see reject.go)
 //	tuple     := x:float64 y:float64 dim:uint16 attr:float64*
 //
 // Floats are IEEE-754 bit patterns. The distance d uses math.Inf(1) for
@@ -44,6 +46,11 @@ const (
 	// SF reject it at Peek and drop the frame without dropping the
 	// connection.
 	KindFilterSet
+	// KindReject is the gateway front tier's explicit refusal: the query
+	// was shed (rate limit, queue full, deadline) or the backend is
+	// unavailable, with a retry-after hint (see reject.go). Pre-gateway
+	// peers drop it without dropping the connection.
+	KindReject
 )
 
 // MaxDim bounds tuple dimensionality on decode, guarding against corrupt
@@ -155,7 +162,7 @@ func Peek(b []byte) (Kind, error) {
 		return 0, fmt.Errorf("wire: empty message")
 	}
 	k := Kind(b[0])
-	if k != KindQuery && k != KindResult && k != KindFilterSet {
+	if k != KindQuery && k != KindResult && k != KindFilterSet && k != KindReject {
 		return 0, fmt.Errorf("wire: unknown message kind %d", b[0])
 	}
 	return k, nil
